@@ -1,0 +1,201 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/baseline"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/popular"
+	"repro/internal/program"
+	"repro/internal/split"
+	"repro/internal/trace"
+	"repro/internal/trg"
+	"repro/internal/wcg"
+)
+
+// Re-exported core types. Aliases keep the public API thin while the
+// implementation lives in focused internal packages.
+type (
+	// Program is an immutable set of procedures in link order.
+	Program = program.Program
+	// Procedure is a placeable unit of code with a name and byte size.
+	Procedure = program.Procedure
+	// ProcID is a dense procedure index within a Program.
+	ProcID = program.ProcID
+	// Layout assigns each procedure a starting byte address.
+	Layout = program.Layout
+	// Trace is a sequence of procedure activations (the profile input).
+	Trace = trace.Trace
+	// Event is a single procedure activation.
+	Event = trace.Event
+	// CacheConfig describes the target instruction cache.
+	CacheConfig = cache.Config
+	// CacheStats are simulation results (references and misses).
+	CacheStats = cache.Stats
+)
+
+// PaperCache is the cache configuration of the paper's evaluation:
+// 8 KB direct-mapped, 32-byte lines.
+var PaperCache = cache.PaperConfig
+
+// NewProgram builds a Program from procedures in their original link order.
+func NewProgram(procs []Procedure) (*Program, error) { return program.New(procs) }
+
+// DefaultLayout is the compiler/linker default: procedures packed in link
+// order.
+func DefaultLayout(prog *Program) *Layout { return program.DefaultLayout(prog) }
+
+// TraceFromNames builds a profile from a sequence of procedure names; each
+// activation executes the whole procedure once. For finer control append
+// Events (with Extent and Repeat) to a Trace directly.
+func TraceFromNames(prog *Program, names ...string) (*Trace, error) {
+	return trace.FromNames(prog, names...)
+}
+
+// ReadTrace parses a binary trace stream written by WriteTrace.
+func ReadTrace(r io.Reader) (*Trace, error) { return trace.ReadBinary(r) }
+
+// WriteTrace serializes a trace in the binary interchange format.
+func WriteTrace(w io.Writer, t *Trace) error { return t.WriteBinary(w) }
+
+// ReadTraceText parses the human-readable trace format (one procedure name
+// per line, optional extent and repeat fields).
+func ReadTraceText(r io.Reader, prog *Program) (*Trace, error) {
+	return trace.ReadText(r, prog)
+}
+
+// Options configures the GBSC placement pipeline.
+type Options struct {
+	// Cache is the target instruction cache. Default PaperCache.
+	Cache CacheConfig
+	// ChunkSize is the TRG_place granularity in bytes. Default 256.
+	ChunkSize int
+	// QFactor scales the temporal window bound (Q holds blocks totalling
+	// QFactor x cache size bytes). Default 2.
+	QFactor int
+	// Popular tunes which procedures the placer optimizes; the rest fill
+	// gaps. Zero values select sensible defaults; to optimize every
+	// procedure set Popular.Coverage to 1 and Popular.MinCount to 1.
+	Popular popular.Options
+}
+
+func (o *Options) setDefaults() {
+	if o.Cache == (CacheConfig{}) {
+		o.Cache = PaperCache
+	}
+}
+
+// Place runs the complete GBSC pipeline on a profile: popularity selection,
+// simultaneous TRG_select/TRG_place construction, greedy alignment-searching
+// node merging, and final linearization. The returned layout assigns every
+// procedure of prog a non-overlapping address.
+func Place(prog *Program, profile *Trace, opts Options) (*Layout, error) {
+	opts.setDefaults()
+	if err := profile.Validate(prog); err != nil {
+		return nil, err
+	}
+	pop := popular.Select(prog, profile, opts.Popular)
+	res, err := trg.Build(prog, profile, trg.Options{
+		CacheBytes: opts.Cache.SizeBytes,
+		QFactor:    opts.QFactor,
+		ChunkSize:  opts.ChunkSize,
+		Popular:    pop,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return core.Place(prog, res, pop, opts.Cache)
+}
+
+// PlaceSetAssociative is the Section 6 variant for set-associative caches:
+// it builds the pair database D(p,{r,s}) and scores alignments at set
+// granularity. opts.Cache.Assoc must be at least 2.
+func PlaceSetAssociative(prog *Program, profile *Trace, opts Options) (*Layout, error) {
+	opts.setDefaults()
+	if err := profile.Validate(prog); err != nil {
+		return nil, err
+	}
+	pop := popular.Select(prog, profile, opts.Popular)
+	res, db, err := trg.BuildPairs(prog, profile, trg.Options{
+		CacheBytes: opts.Cache.SizeBytes,
+		QFactor:    opts.QFactor,
+		ChunkSize:  opts.ChunkSize,
+		Popular:    pop,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return core.PlaceAssoc(prog, res, db, pop, opts.Cache)
+}
+
+// PlacePettisHansen computes the Pettis & Hansen baseline placement from
+// the profile's weighted call graph.
+func PlacePettisHansen(prog *Program, profile *Trace) (*Layout, error) {
+	if err := profile.Validate(prog); err != nil {
+		return nil, err
+	}
+	return baseline.PHLayout(prog, wcg.Build(profile))
+}
+
+// PlaceCacheColoring computes the HKC (cache-line coloring) baseline
+// placement.
+func PlaceCacheColoring(prog *Program, profile *Trace, opts Options) (*Layout, error) {
+	opts.setDefaults()
+	if err := profile.Validate(prog); err != nil {
+		return nil, err
+	}
+	pop := popular.Select(prog, profile, opts.Popular)
+	return baseline.HKC(prog, wcg.BuildFiltered(profile, pop.Contains), pop, opts.Cache)
+}
+
+// SplitResult describes a hot/cold procedure split (see PlaceWithSplitting).
+type SplitResult = split.Result
+
+// SplitOptions tunes procedure splitting.
+type SplitOptions = split.Options
+
+// SplitProcedures divides procedures into hot and cold parts based on the
+// profile's extent distribution — Pettis & Hansen's "procedure splitting",
+// which the paper's conclusion identifies as orthogonal to and composable
+// with temporal-ordering placement. The result carries the transformed
+// program and the mapping; use TransformTrace to rewrite profiles.
+func SplitProcedures(prog *Program, profile *Trace, opts SplitOptions) (*SplitResult, error) {
+	return split.Split(prog, profile, opts)
+}
+
+// PlaceWithSplitting composes procedure splitting with GBSC placement: it
+// splits on the profile, transforms the profile, and places the split
+// program. The returned layout addresses the procedures of
+// SplitResult.Prog (hot parts keep the original names, or ".hot"/".cold"
+// suffixes when split).
+func PlaceWithSplitting(prog *Program, profile *Trace, opts Options, sopts SplitOptions) (*SplitResult, *Layout, error) {
+	opts.setDefaults()
+	if sopts.Align == 0 {
+		sopts.Align = opts.Cache.LineBytes
+	}
+	sp, err := split.Split(prog, profile, sopts)
+	if err != nil {
+		return nil, nil, err
+	}
+	transformed, err := sp.TransformTrace(prog, profile)
+	if err != nil {
+		return nil, nil, err
+	}
+	layout, err := Place(sp.Prog, transformed, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sp, layout, nil
+}
+
+// Simulate replays the trace against the layout through an instruction-
+// cache simulation and returns reference/miss counts.
+func Simulate(cfg CacheConfig, layout *Layout, t *Trace) (CacheStats, error) {
+	return cache.RunTrace(cfg, layout, t)
+}
+
+// MissRate is Simulate reduced to the miss ratio.
+func MissRate(cfg CacheConfig, layout *Layout, t *Trace) (float64, error) {
+	return cache.MissRate(cfg, layout, t)
+}

@@ -1,0 +1,207 @@
+package repro
+
+import (
+	"bytes"
+	"testing"
+)
+
+func apiProgram(t *testing.T) *Program {
+	t.Helper()
+	prog, err := NewProgram([]Procedure{
+		{Name: "main", Size: 512},
+		{Name: "parse", Size: 2048},
+		{Name: "eval", Size: 1024},
+		{Name: "gc", Size: 4096},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func apiTrace(t *testing.T, prog *Program) *Trace {
+	t.Helper()
+	tr := &Trace{}
+	ids := make(map[string]ProcID)
+	for _, n := range []string{"main", "parse", "eval", "gc"} {
+		id, ok := prog.Lookup(n)
+		if !ok {
+			t.Fatalf("missing %s", n)
+		}
+		ids[n] = id
+	}
+	for i := 0; i < 200; i++ {
+		tr.Append(Event{Proc: ids["main"], Extent: 256})
+		tr.Append(Event{Proc: ids["parse"]})
+		tr.Append(Event{Proc: ids["main"], Extent: 64})
+		tr.Append(Event{Proc: ids["eval"]})
+		if i%10 == 0 {
+			tr.Append(Event{Proc: ids["gc"]})
+		}
+	}
+	return tr
+}
+
+func TestPlaceEndToEnd(t *testing.T) {
+	prog := apiProgram(t)
+	tr := apiTrace(t, prog)
+	layout, err := Place(prog, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := layout.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mrOpt, err := MissRate(PaperCache, layout, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrDef, err := MissRate(PaperCache, DefaultLayout(prog), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mrOpt > mrDef {
+		t.Errorf("GBSC %.4f worse than default %.4f", mrOpt, mrDef)
+	}
+}
+
+func TestBaselinesEndToEnd(t *testing.T) {
+	prog := apiProgram(t)
+	tr := apiTrace(t, prog)
+	ph, err := PlacePettisHansen(prog, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hkc, err := PlaceCacheColoring(prog, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, l := range map[string]*Layout{"PH": ph, "HKC": hkc} {
+		if err := l.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestPlaceSetAssociativeEndToEnd(t *testing.T) {
+	prog := apiProgram(t)
+	tr := apiTrace(t, prog)
+	cfg := CacheConfig{SizeBytes: 8192, LineBytes: 32, Assoc: 2}
+	layout, err := PlaceSetAssociative(prog, tr, Options{Cache: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := layout.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Simulate(cfg, layout, tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceRejectsInvalidProfile(t *testing.T) {
+	prog := apiProgram(t)
+	bad := &Trace{}
+	bad.Append(Event{Proc: 99})
+	if _, err := Place(prog, bad, Options{}); err == nil {
+		t.Error("Place accepted invalid trace")
+	}
+	if _, err := PlacePettisHansen(prog, bad); err == nil {
+		t.Error("PlacePettisHansen accepted invalid trace")
+	}
+	if _, err := PlaceCacheColoring(prog, bad, Options{}); err == nil {
+		t.Error("PlaceCacheColoring accepted invalid trace")
+	}
+}
+
+func TestPlaceWithSplitting(t *testing.T) {
+	prog := apiProgram(t)
+	tr := apiTrace(t, prog)
+	// Make "gc" mostly-cold: dominant activations execute only a prefix.
+	gc, _ := prog.Lookup("gc")
+	for i := 0; i < 100; i++ {
+		tr.Append(Event{Proc: gc, Extent: 512})
+	}
+	sp, layout, err := PlaceWithSplitting(prog, tr, Options{}, SplitOptions{Coverage: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := layout.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Splits == 0 {
+		t.Error("expected at least one split")
+	}
+	if layout.Program() != sp.Prog {
+		t.Error("layout not over the split program")
+	}
+	// The transformed profile simulates against the new layout.
+	transformed, err := sp.TransformTrace(prog, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MissRate(PaperCache, layout, transformed); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceOptionKnobsPropagate(t *testing.T) {
+	prog := apiProgram(t)
+	tr := apiTrace(t, prog)
+	// Non-default chunking and Q bound must flow through without error and
+	// still produce a valid layout.
+	l, err := Place(prog, tr, Options{ChunkSize: 64, QFactor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Bad knobs surface as errors rather than silent defaults.
+	if _, err := Place(prog, tr, Options{ChunkSize: -1}); err == nil {
+		t.Error("Place accepted negative chunk size")
+	}
+	if _, err := Place(prog, tr, Options{Cache: CacheConfig{SizeBytes: 100, LineBytes: 32, Assoc: 1}}); err == nil {
+		t.Error("Place accepted inconsistent cache geometry")
+	}
+}
+
+func TestPlaceSetAssociativeFourWay(t *testing.T) {
+	prog := apiProgram(t)
+	tr := apiTrace(t, prog)
+	cfg := CacheConfig{SizeBytes: 8192, LineBytes: 32, Assoc: 4}
+	l, err := PlaceSetAssociative(prog, tr, Options{Cache: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceRoundTripViaFacade(t *testing.T) {
+	prog := apiProgram(t)
+	tr, err := TraceFromNames(prog, "main", "parse", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 {
+		t.Errorf("round trip length %d", back.Len())
+	}
+	text := bytes.NewBufferString("main\nparse 100 2\n")
+	tt, err := ReadTraceText(text, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Len() != 2 || tt.Events[1].Repeat != 2 {
+		t.Errorf("text parse %v", tt.Events)
+	}
+}

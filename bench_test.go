@@ -1,0 +1,232 @@
+package repro
+
+// Benchmark harness: one testing.B benchmark per table/figure of the paper
+// plus the Section 4.4 runtime claims. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The table/figure benches execute the same code paths as
+// cmd/experiments at a reduced scale, so -bench serves as the smoke
+// regeneration of the paper's evaluation; use cmd/experiments for the
+// full-scale numbers recorded in EXPERIMENTS.md.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/popular"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+	"repro/internal/trg"
+	"repro/internal/wcg"
+)
+
+// benchOpts is the reduced scale used for benchmark iterations.
+func benchOpts(benches ...string) experiments.Options {
+	return experiments.Options{Scale: 0.1, Runs: 3, Seed: 1, Benchmarks: benches}
+}
+
+// BenchmarkTable1 regenerates the benchmark-details table (Table 1).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(benchOpts("perl", "m88ksim")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates the randomized-profile miss-rate
+// distributions (Figure 5) for one benchmark.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(benchOpts("m88ksim")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates the conflict-metric correlation study
+// (Figure 6).
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure6(experiments.Options{Scale: 0.1, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPaddingSensitivity regenerates the Section 5.1 padding
+// demonstration.
+func BenchmarkPaddingSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Padding(benchOpts("perl")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSameInput regenerates the Section 5.3 train==test comparison.
+func BenchmarkSameInput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SameInput(benchOpts("m88ksim")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSetAssoc regenerates the Section 6 two-way comparison.
+func BenchmarkSetAssoc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SetAssoc(benchOpts("m88ksim")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblations regenerates the design-choice ablation table.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Ablations(benchOpts("m88ksim")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Section 4.4: placement algorithm runtime -----------------------------
+
+// benchArtifacts prepares a benchmark's training trace, popularity set and
+// TRG once, outside the timed loop.
+type benchArtifacts struct {
+	pair *tracegen.Pair
+	tr   *trace.Trace
+	pop  *popular.Set
+	res  *trg.Result
+}
+
+func prepareArtifacts(b *testing.B, name string, scale float64) *benchArtifacts {
+	b.Helper()
+	pair := tracegen.Lookup(tracegen.Suite(scale), name)
+	if pair == nil {
+		b.Fatalf("unknown benchmark %s", name)
+	}
+	tr := pair.Bench.Trace(pair.Train)
+	pop := popular.Select(pair.Bench.Prog, tr, popular.Options{})
+	res, err := trg.Build(pair.Bench.Prog, tr, trg.Options{
+		CacheBytes: cache.PaperConfig.SizeBytes,
+		Popular:    pop,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &benchArtifacts{pair: pair, tr: tr, pop: pop, res: res}
+}
+
+// BenchmarkGBSCPlacement times the full GBSC merge + linearize phase on the
+// vortex benchmark (P≈120 popular procedures, C=256 lines), the regime of
+// the paper's Section 4.4 runtime discussion.
+func BenchmarkGBSCPlacement(b *testing.B) {
+	art := prepareArtifacts(b, "vortex", 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Place(art.pair.Bench.Prog, art.res, art.pop, cache.PaperConfig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMergeNodes times just the merging phase via Assign.
+func BenchmarkMergeNodes(b *testing.B) {
+	art := prepareArtifacts(b, "perl", 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Assign(art.pair.Bench.Prog, art.res, art.pop, cache.PaperConfig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTRGBuild times TRG_select/TRG_place construction per trace event.
+func BenchmarkTRGBuild(b *testing.B) {
+	pair := tracegen.Lookup(tracegen.Suite(0.3), "perl")
+	tr := pair.Bench.Trace(pair.Train)
+	pop := popular.Select(pair.Bench.Prog, tr, popular.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trg.Build(pair.Bench.Prog, tr, trg.Options{
+			CacheBytes: cache.PaperConfig.SizeBytes,
+			Popular:    pop,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPHPlacement times the Pettis & Hansen baseline.
+func BenchmarkPHPlacement(b *testing.B) {
+	pair := tracegen.Lookup(tracegen.Suite(0.3), "perl")
+	tr := pair.Bench.Trace(pair.Train)
+	g := wcg.Build(tr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.PHLayout(pair.Bench.Prog, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHKCPlacement times the cache-line-coloring baseline.
+func BenchmarkHKCPlacement(b *testing.B) {
+	pair := tracegen.Lookup(tracegen.Suite(0.3), "perl")
+	tr := pair.Bench.Trace(pair.Train)
+	pop := popular.Select(pair.Bench.Prog, tr, popular.Options{})
+	g := wcg.BuildFiltered(tr, pop.Contains)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.HKC(pair.Bench.Prog, g, pop, cache.PaperConfig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheSim times the trace-driven simulator in refs/op terms.
+func BenchmarkCacheSim(b *testing.B) {
+	pair := tracegen.Lookup(tracegen.Suite(0.3), "perl")
+	tr := pair.Bench.Trace(pair.Train)
+	layout := DefaultLayout(pair.Bench.Prog)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.RunTrace(cache.PaperConfig, layout, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceGen times synthetic trace generation.
+func BenchmarkTraceGen(b *testing.B) {
+	pair := tracegen.Lookup(tracegen.Suite(0.3), "perl")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pair.Bench.Trace(tracegen.Input{Seed: int64(i), Events: 20_000})
+	}
+}
+
+// BenchmarkQueueTouch times the Q maintenance hot path.
+func BenchmarkQueueTouch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ids := make([]trg.BlockID, 4096)
+	sizes := make([]int, 4096)
+	for i := range ids {
+		ids[i] = trg.BlockID(rng.Intn(500))
+		sizes[i] = rng.Intn(2000) + 64
+	}
+	q := trg.NewQueue(16384)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(ids)
+		q.Touch(ids[j], sizes[j], nil)
+	}
+}

@@ -1,0 +1,105 @@
+// Command cachesim simulates the instruction-cache behaviour of a placed
+// program over a trace and reports reference, miss, and miss-rate figures.
+//
+// Usage:
+//
+//	cachesim -prog perl.prog -layout perl.layout -trace perl-test.trace
+//	cachesim -prog perl.prog -trace perl-test.trace          # default layout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cachesim: ")
+
+	progPath := flag.String("prog", "", "program description file (required)")
+	layoutPath := flag.String("layout", "", "layout file (default: link-order layout)")
+	tracePath := flag.String("trace", "", "binary trace file (required)")
+	cacheBytes := flag.Int("cache", 8192, "cache size in bytes")
+	lineBytes := flag.Int("line", 32, "cache line size in bytes")
+	assoc := flag.Int("assoc", 1, "set associativity (1 = direct-mapped)")
+	classify := flag.Bool("classify", false, "classify misses (cold/capacity/conflict) and attribute them to procedures (slower)")
+	top := flag.Int("top", 10, "with -classify, how many worst procedures to list")
+	flag.Parse()
+
+	if *progPath == "" || *tracePath == "" {
+		log.Fatal("-prog and -trace are required")
+	}
+	pf, err := os.Open(*progPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := program.ReadDescription(pf)
+	pf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var layout *program.Layout
+	if *layoutPath == "" {
+		layout = program.DefaultLayout(prog)
+	} else {
+		lf, err := os.Open(*layoutPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		layout, err = program.ReadLayout(lf, prog)
+		lf.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := layout.Validate(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	tf, err := os.Open(*tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := trace.ReadBinary(tf)
+	tf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tr.Validate(prog); err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := cache.Config{SizeBytes: *cacheBytes, LineBytes: *lineBytes, Assoc: *assoc}
+	fmt.Printf("cache: %dB, %dB lines, %d-way\n", cfg.SizeBytes, cfg.LineBytes, cfg.Assoc)
+
+	if *classify {
+		cs, err := cache.RunTraceClassified(cfg, layout, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("refs:      %d\n", cs.Refs)
+		fmt.Printf("misses:    %d (cold %d, capacity %d, conflict %d)\n",
+			cs.Misses, cs.Cold, cs.Capacity, cs.Conflict)
+		fmt.Printf("miss rate: %.4f%%\n", 100*cs.MissRate())
+		fmt.Printf("\nprocedures with the most misses:\n")
+		for _, p := range cs.TopMissProcs(*top) {
+			fmt.Printf("  %-30s %10d\n", prog.Name(p), cs.PerProc[p])
+		}
+		return
+	}
+
+	st, err := cache.RunTrace(cfg, layout, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("refs:      %d\n", st.Refs)
+	fmt.Printf("misses:    %d\n", st.Misses)
+	fmt.Printf("miss rate: %.4f%%\n", 100*st.MissRate())
+}

@@ -1,0 +1,192 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic benchmark suite.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run table1,figure5 -scale 1.0 -runs 40
+//	experiments -run figure6 -csv fig6.csv
+//
+// Available experiments: table1, figure5, figure6, padding, sameinput,
+// setassoc, ablations, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	run := flag.String("run", "all", "comma-separated experiments to run")
+	scale := flag.Float64("scale", 1.0, "trace length scale factor")
+	runs := flag.Int("runs", 40, "perturbed runs per algorithm (figure 5)")
+	seed := flag.Int64("seed", 1, "randomization seed")
+	benches := flag.String("bench", "", "comma-separated benchmark filter (default all six)")
+	csvPath := flag.String("csv", "", "also write figure 6 points as CSV to this path")
+	flag.Parse()
+
+	opts := experiments.Options{Scale: *scale, Runs: *runs, Seed: *seed}
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+
+	type step struct {
+		name string
+		fn   func() error
+	}
+	steps := []step{
+		{"table1", func() error {
+			r, err := experiments.Table1(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Table 1: benchmark details ==")
+			return r.Render(os.Stdout)
+		}},
+		{"figure5", func() error {
+			r, err := experiments.Figure5(opts)
+			if err != nil {
+				return err
+			}
+			if err := r.Render(os.Stdout); err != nil {
+				return err
+			}
+			if *csvPath != "" {
+				f, err := os.Create(*csvPath)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				return r.WriteCSV(f)
+			}
+			return nil
+		}},
+		{"figure6", func() error {
+			r, err := experiments.Figure6(opts)
+			if err != nil {
+				return err
+			}
+			if err := r.Render(os.Stdout); err != nil {
+				return err
+			}
+			if *csvPath != "" {
+				f, err := os.Create(*csvPath)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				fmt.Fprintln(f, "missrate,trg_metric,wcg_metric")
+				for _, p := range r.Points {
+					fmt.Fprintf(f, "%.6f,%d,%d\n", p.MissRate, p.TRGMetric, p.WCGMetric)
+				}
+			}
+			return nil
+		}},
+		{"padding", func() error {
+			r, err := experiments.Padding(opts)
+			if err != nil {
+				return err
+			}
+			return r.Render(os.Stdout)
+		}},
+		{"sameinput", func() error {
+			r, err := experiments.SameInput(opts)
+			if err != nil {
+				return err
+			}
+			return r.Render(os.Stdout)
+		}},
+		{"setassoc", func() error {
+			r, err := experiments.SetAssoc(opts)
+			if err != nil {
+				return err
+			}
+			return r.Render(os.Stdout)
+		}},
+		{"ablations", func() error {
+			r, err := experiments.Ablations(opts)
+			if err != nil {
+				return err
+			}
+			return r.Render(os.Stdout)
+		}},
+		{"pagelocal", func() error {
+			r, err := experiments.PageLocality(opts)
+			if err != nil {
+				return err
+			}
+			return r.Render(os.Stdout)
+		}},
+		{"conflicts", func() error {
+			r, err := experiments.Conflicts(opts)
+			if err != nil {
+				return err
+			}
+			return r.Render(os.Stdout)
+		}},
+		{"splitting", func() error {
+			r, err := experiments.Splitting(opts)
+			if err != nil {
+				return err
+			}
+			return r.Render(os.Stdout)
+		}},
+		{"sweep", func() error {
+			r, err := experiments.CacheSweep(opts)
+			if err != nil {
+				return err
+			}
+			return r.Render(os.Stdout)
+		}},
+		{"optimality", func() error {
+			r, err := experiments.Optimality(opts)
+			if err != nil {
+				return err
+			}
+			return r.Render(os.Stdout)
+		}},
+		{"blockreorder", func() error {
+			r, err := experiments.BlockReorder(opts)
+			if err != nil {
+				return err
+			}
+			return r.Render(os.Stdout)
+		}},
+		{"headroom", func() error {
+			r, err := experiments.Headroom(opts)
+			if err != nil {
+				return err
+			}
+			return r.Render(os.Stdout)
+		}},
+	}
+
+	ran := 0
+	for _, s := range steps {
+		if !all && !want[s.name] {
+			continue
+		}
+		if err := s.fn(); err != nil {
+			log.Fatalf("%s: %v", s.name, err)
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		log.Fatalf("no experiments matched %q", *run)
+	}
+}

@@ -1,0 +1,150 @@
+// Command layout computes a procedure placement from a program description
+// and a profiling trace, writing the resulting layout as "name address"
+// lines.
+//
+// Usage:
+//
+//	layout -prog perl.prog -trace perl-train.trace -alg gbsc -out perl.layout
+//
+// Algorithms: gbsc (the paper's temporal-ordering placement), gbsc2 (the
+// Section 6 two-way set-associative variant), ph (Pettis & Hansen), hkc
+// (cache-line coloring), default (link order).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/popular"
+	"repro/internal/program"
+	"repro/internal/trace"
+	"repro/internal/trg"
+	"repro/internal/wcg"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("layout: ")
+
+	progPath := flag.String("prog", "", "program description file (required)")
+	tracePath := flag.String("trace", "", "binary trace file (required except for -alg default)")
+	alg := flag.String("alg", "gbsc", "placement algorithm: gbsc, gbsc2, ph, hkc, default")
+	out := flag.String("out", "", "output layout file (default stdout)")
+	format := flag.String("format", "layout", "output format: layout (name address), order (symbol-ordering file), ldscript (GNU ld SECTIONS fragment)")
+	cacheBytes := flag.Int("cache", 8192, "cache size in bytes")
+	lineBytes := flag.Int("line", 32, "cache line size in bytes")
+	chunk := flag.Int("chunk", 256, "TRG_place chunk size in bytes")
+	pageAware := flag.Bool("pagelocal", false, "use the page-locality linearization (gbsc only)")
+	flag.Parse()
+
+	if *progPath == "" {
+		log.Fatal("-prog is required")
+	}
+	pf, err := os.Open(*progPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := program.ReadDescription(pf)
+	pf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var tr *trace.Trace
+	if *tracePath != "" {
+		tf, err := os.Open(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err = trace.ReadBinary(tf)
+		tf.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.Validate(prog); err != nil {
+			log.Fatal(err)
+		}
+	} else if *alg != "default" {
+		log.Fatalf("-trace is required for -alg %s", *alg)
+	}
+
+	cfg := cache.Config{SizeBytes: *cacheBytes, LineBytes: *lineBytes, Assoc: 1}
+	if *alg == "gbsc2" {
+		cfg.Assoc = 2
+	}
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	var l *program.Layout
+	switch *alg {
+	case "default":
+		l = program.DefaultLayout(prog)
+	case "ph":
+		l, err = baseline.PHLayout(prog, wcg.Build(tr))
+	case "hkc":
+		pop := popular.Select(prog, tr, popular.Options{})
+		l, err = baseline.HKC(prog, wcg.BuildFiltered(tr, pop.Contains), pop, cfg)
+	case "gbsc":
+		pop := popular.Select(prog, tr, popular.Options{})
+		var res *trg.Result
+		res, err = trg.Build(prog, tr, trg.Options{
+			CacheBytes: cfg.SizeBytes, ChunkSize: *chunk, Popular: pop,
+		})
+		if err == nil {
+			if *pageAware {
+				l, err = core.PlacePageAware(prog, res, pop, cfg)
+			} else {
+				l, err = core.Place(prog, res, pop, cfg)
+			}
+		}
+	case "gbsc2":
+		pop := popular.Select(prog, tr, popular.Options{})
+		var res *trg.Result
+		var db *trg.PairDB
+		res, db, err = trg.BuildPairs(prog, tr, trg.Options{
+			CacheBytes: cfg.SizeBytes, ChunkSize: *chunk, Popular: pop,
+		})
+		if err == nil {
+			l, err = core.PlaceAssoc(prog, res, db, pop, cfg)
+		}
+	default:
+		log.Fatalf("unknown algorithm %q", *alg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		log.Fatalf("internal error: produced invalid layout: %v", err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "layout":
+		err = l.WriteLayout(w)
+	case "order":
+		err = l.WriteOrder(w)
+	case "ldscript":
+		err = l.WriteLinkerScript(w, 0x400000)
+	default:
+		log.Fatalf("unknown format %q", *format)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "layout: %s over %d procedures, extent %d bytes\n",
+		*alg, prog.NumProcs(), l.Extent())
+}

@@ -1,0 +1,81 @@
+// Command tracegen generates a synthetic benchmark program and execution
+// trace from the Table 1 suite and writes them to disk: the program as a
+// text description (name and size per line) and the trace in the binary
+// interchange format.
+//
+// Usage:
+//
+//	tracegen -bench perl -input train -scale 1.0 -out perl.trace -prog perl.prog
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/tracegen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+
+	benchName := flag.String("bench", "perl", "benchmark name (gcc, go, ghostscript, m88ksim, perl, vortex)")
+	input := flag.String("input", "train", "which input to run: train or test")
+	scale := flag.Float64("scale", 1.0, "trace length scale factor")
+	outTrace := flag.String("out", "", "output trace file (binary format); default <bench>-<input>.trace")
+	outProg := flag.String("prog", "", "output program description; default <bench>.prog")
+	flag.Parse()
+
+	pair := tracegen.Lookup(tracegen.Suite(*scale), *benchName)
+	if pair == nil {
+		log.Fatalf("unknown benchmark %q", *benchName)
+	}
+	in := pair.Train
+	switch *input {
+	case "train":
+	case "test":
+		in = pair.Test
+	default:
+		log.Fatalf("unknown input %q (want train or test)", *input)
+	}
+
+	if *outTrace == "" {
+		*outTrace = fmt.Sprintf("%s-%s.trace", *benchName, *input)
+	}
+	if *outProg == "" {
+		*outProg = fmt.Sprintf("%s.prog", *benchName)
+	}
+
+	tr := pair.Bench.Trace(in)
+
+	tf, err := os.Create(*outTrace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tf.Close()
+	if err := tr.WriteBinary(tf); err != nil {
+		log.Fatalf("writing trace: %v", err)
+	}
+
+	pf, err := os.Create(*outProg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pf.Close()
+	w := bufio.NewWriter(pf)
+	fmt.Fprintf(w, "# %s: %d procedures, %d bytes\n",
+		pair.Bench.Name, pair.Bench.Prog.NumProcs(), pair.Bench.Prog.TotalSize())
+	for _, p := range pair.Bench.Prog.Procs {
+		fmt.Fprintf(w, "%s %d\n", p.Name, p.Size)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	stats := tr.ComputeStats(pair.Bench.Prog, 32)
+	fmt.Printf("%s/%s: %d events, %d line refs, %d procedures touched → %s, %s\n",
+		*benchName, in.Name, stats.Events, stats.LineRefs, stats.UniqueProcs, *outTrace, *outProg)
+}

@@ -1,0 +1,129 @@
+// Command traceinfo summarizes a trace: length, reference volume, the
+// hottest procedures, the popularity classification the placement
+// algorithms would use, and the average temporal working set (the Q
+// statistic of Table 1).
+//
+// Usage:
+//
+//	traceinfo -prog perl.prog -trace perl-train.trace [-top 15] [-cache 8192]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/graph"
+	"repro/internal/popular"
+	"repro/internal/program"
+	"repro/internal/trace"
+	"repro/internal/trg"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("traceinfo: ")
+
+	progPath := flag.String("prog", "", "program description file (required)")
+	tracePath := flag.String("trace", "", "binary trace file (required)")
+	top := flag.Int("top", 15, "how many of the hottest procedures to list")
+	cacheBytes := flag.Int("cache", 8192, "cache size for the Q statistic")
+	lineBytes := flag.Int("line", 32, "cache line size in bytes")
+	dotPath := flag.String("dot", "", "write TRG_select in Graphviz DOT format to this path")
+	dotMin := flag.Int64("dotmin", 1, "omit TRG edges lighter than this from the DOT output")
+	flag.Parse()
+
+	if *progPath == "" || *tracePath == "" {
+		log.Fatal("-prog and -trace are required")
+	}
+	pf, err := os.Open(*progPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := program.ReadDescription(pf)
+	pf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tf, err := os.Open(*tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := trace.ReadBinary(tf)
+	tf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tr.Validate(prog); err != nil {
+		log.Fatal(err)
+	}
+
+	stats := tr.ComputeStats(prog, *lineBytes)
+	pop := popular.Select(prog, tr, popular.Options{})
+	res, err := trg.Build(prog, tr, trg.Options{CacheBytes: *cacheBytes, Popular: pop})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("program:            %d procedures, %d bytes\n", prog.NumProcs(), prog.TotalSize())
+	fmt.Printf("activations:        %d\n", stats.Events)
+	fmt.Printf("line references:    %d (%d-byte lines)\n", stats.LineRefs, *lineBytes)
+	fmt.Printf("procedures touched: %d\n", stats.UniqueProcs)
+	fmt.Printf("popular set:        %d procedures, %d bytes\n", pop.Len(), pop.TotalSize(prog))
+	fmt.Printf("avg Q population:   %.1f procedures (bound %dB)\n", res.AvgQProcs, 2**cacheBytes)
+	fmt.Printf("TRG_select:         %d nodes, %d edges\n", res.Select.NumNodes(), res.Select.NumEdges())
+	fmt.Printf("TRG_place:          %d chunks, %d edges\n", res.Place.NumNodes(), res.Place.NumEdges())
+
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = res.Select.WriteDOT(f, "trg_select", func(n graph.NodeID) string {
+			return prog.Name(program.ProcID(n))
+		}, *dotMin)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("TRG_select DOT:     %s\n", *dotPath)
+	}
+
+	type hot struct {
+		id program.ProcID
+		n  int64
+	}
+	var hots []hot
+	for p, n := range stats.PerProc {
+		if n > 0 {
+			hots = append(hots, hot{program.ProcID(p), n})
+		}
+	}
+	sort.Slice(hots, func(i, j int) bool {
+		if hots[i].n != hots[j].n {
+			return hots[i].n > hots[j].n
+		}
+		return hots[i].id < hots[j].id
+	})
+	if len(hots) > *top {
+		hots = hots[:*top]
+	}
+	fmt.Printf("\nhottest procedures:\n")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "procedure\tactivations\tsize\tpopular")
+	for _, h := range hots {
+		mark := ""
+		if pop.Contains(h.id) {
+			mark = "*"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\n", prog.Name(h.id), h.n, prog.Size(h.id), mark)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,30 @@
+// Package repro is a from-scratch implementation of temporal-ordering
+// procedure placement, reproducing Gloy, Blackwell, Smith and Calder,
+// "Procedure Placement Using Temporal Ordering Information" (MICRO-30,
+// 1997).
+//
+// The package optimizes the layout of a program's procedures in the text
+// segment to minimize instruction-cache conflict misses. Unlike placements
+// driven by a weighted call graph (Pettis & Hansen), the algorithm here
+// summarizes the *temporal interleaving* of code blocks in an execution
+// profile into a temporal relationship graph (TRG) and uses the cache
+// configuration and procedure sizes to score every candidate cache-relative
+// alignment of the procedures being placed.
+//
+// # Quick start
+//
+//	prog, _ := repro.NewProgram([]repro.Procedure{
+//		{Name: "main", Size: 512},
+//		{Name: "parse", Size: 2048},
+//		{Name: "eval", Size: 1024},
+//	})
+//	profile := repro.TraceFromNames(prog, "main", "parse", "main", "eval")
+//	layout, _ := repro.Place(prog, profile, repro.Options{})
+//	mr, _ := repro.MissRate(repro.PaperCache, layout, profile)
+//
+// The packages under internal/ contain the building blocks: the program and
+// layout model, the trace infrastructure, the cache simulator, TRG
+// construction, the GBSC placer, the PH and HKC baselines, and the
+// experiment harness that regenerates every table and figure of the paper
+// (see DESIGN.md and EXPERIMENTS.md).
+package repro

@@ -1,0 +1,68 @@
+// Layout sensitivity (Section 5.1 of the paper): small changes in code
+// layout can cause dramatic changes in the instruction-cache miss rate. The
+// paper pads every procedure of an optimized perl layout by one cache line
+// and watches the miss rate jump from 3.8% to 5.4%.
+//
+// This example reproduces the demonstration on the synthetic perl benchmark
+// and then sweeps the pad size, showing how chaotic the dependence is.
+//
+// Usage:
+//
+//	go run ./examples/sensitivity [-scale 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/popular"
+	"repro/internal/tracegen"
+	"repro/internal/trg"
+)
+
+func main() {
+	log.SetFlags(0)
+	scale := flag.Float64("scale", 0.5, "trace length scale")
+	flag.Parse()
+
+	pair := tracegen.Lookup(tracegen.Suite(*scale), "perl")
+	if pair == nil {
+		log.Fatal("perl benchmark missing")
+	}
+	prog := pair.Bench.Prog
+	train := pair.Bench.Trace(pair.Train)
+	test := pair.Bench.Trace(pair.Test)
+	cfg := cache.PaperConfig
+
+	pop := popular.Select(prog, train, popular.Options{})
+	res, err := trg.Build(prog, train, trg.Options{CacheBytes: cfg.SizeBytes, Popular: pop})
+	if err != nil {
+		log.Fatal(err)
+	}
+	layout, err := core.Place(prog, res, pop, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base, err := cache.MissRate(cfg, layout, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("perl, 8KB direct-mapped cache, GBSC layout: %.3f%% miss rate\n\n", 100*base)
+	fmt.Println("pad every procedure by N bytes and re-simulate the SAME layout:")
+	fmt.Println("  pad    miss rate   vs base")
+	for _, pad := range []int{32, 64, 96, 128, 160, 192, 224, 256} {
+		mr, err := cache.MissRate(cfg, layout.PadAll(pad), test)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %4dB  %7.3f%%   %+6.1f%%\n", pad, 100*mr, 100*(mr-base)/base)
+	}
+	fmt.Println("\nA one-line pad is a trivial layout edit, yet the miss rate moves")
+	fmt.Println("by double-digit percentages — the paper's argument for evaluating")
+	fmt.Println("placement algorithms over distributions of randomized profiles")
+	fmt.Println("rather than single runs.")
+}

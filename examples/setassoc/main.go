@@ -1,0 +1,102 @@
+// Set-associative placement (Section 6 of the paper): in a 2-way LRU cache
+// a single intervening procedure no longer evicts a resident one — two
+// distinct blocks must intervene between consecutive references. The pair
+// database D(p,{r,s}) records exactly that, so the associative placer can
+// let procedures that merely alternate share sets safely (a relaxation no
+// 1-way conflict model can justify) and spend the freed capacity keeping
+// genuine triples apart.
+//
+// The workload rotates seven hot procedures through one loop; they need 56
+// of the cache's 32 sets, so overlap is forced. Any two of them can share
+// a set without a single conflict miss (within a set only the partner
+// intervenes, and 2-way LRU retains both); any three thrash. Watch the
+// pair-database layout consolidate procedures two-per-set-band. For the
+// measured suite-level comparison, run: go run ./cmd/experiments -run setassoc
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	procs := []repro.Procedure{
+		{Name: "a", Size: 256}, {Name: "b", Size: 256}, {Name: "c", Size: 256},
+		{Name: "d", Size: 256}, {Name: "e", Size: 256},
+		{Name: "f", Size: 256}, {Name: "g", Size: 256},
+		{Name: "cold1", Size: 1024}, {Name: "cold2", Size: 1024},
+	}
+	prog, err := repro.NewProgram(procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	id := func(n string) repro.ProcID {
+		p, ok := prog.Lookup(n)
+		if !ok {
+			log.Fatalf("missing %s", n)
+		}
+		return p
+	}
+
+	profile := &repro.Trace{}
+	emit := func(names ...string) {
+		for _, n := range names {
+			profile.Append(repro.Event{Proc: id(n)})
+		}
+	}
+	// All seven hot procedures rotate in one loop. In a 2-way cache, a set
+	// holding any TWO of them is harmless (only the partner intervenes
+	// within the set, and LRU keeps both); a set holding THREE thrashes.
+	// A 1-way conflict model cannot tell those two situations apart — the
+	// pairwise interleaving counts are identical — but D(p,{r,s}) charges
+	// exactly the triples.
+	for i := 0; i < 200; i++ {
+		emit("a", "b", "c", "d", "e", "f", "g")
+	}
+
+	// 2 KB 2-way cache, 32-byte lines: 32 sets; each hot procedure covers
+	// 8 sets, so the seven hot procedures need 56 of 32 sets — overlap is
+	// unavoidable and the placement decides who shares.
+	twoWay := repro.CacheConfig{SizeBytes: 2048, LineBytes: 32, Assoc: 2}
+	direct := repro.CacheConfig{SizeBytes: 2048, LineBytes: 32, Assoc: 1}
+
+	dmLayout, err := repro.Place(prog, profile, repro.Options{Cache: direct})
+	if err != nil {
+		log.Fatal(err)
+	}
+	saLayout, err := repro.PlaceSetAssociative(prog, profile, repro.Options{Cache: twoWay})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, l := range []struct {
+		name   string
+		layout *repro.Layout
+	}{
+		{"placement from the direct-mapped model", dmLayout},
+		{"placement from the pair database (Sec. 6)", saLayout},
+	} {
+		st, err := repro.Simulate(twoWay, l.layout, profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-44s %5d misses / %d refs = %.3f%% on the 2-way cache\n",
+			l.name, st.Misses, st.Refs, 100*st.MissRate())
+	}
+
+	fmt.Println("\nset ranges of the hot procedures under the pair-database layout:")
+	for _, n := range []string{"a", "b", "c", "d", "e", "f", "g"} {
+		addr := saLayout.Addr(id(n))
+		first := (addr / 32) % 32
+		fmt.Printf("  %s @ %5d → sets %2d..%2d\n", n, addr, first, (first+7)%32)
+	}
+	fmt.Println("\nSeven procedures of 8 sets each fit 32 sets only by sharing; the")
+	fmt.Println("pair database proves two-per-set is free in a 2-way cache (no triple")
+	fmt.Println("of them ever appears between consecutive references), so both the")
+	fmt.Println("rotation and the capacity constraint are satisfied with cold misses")
+	fmt.Println("only.")
+}

@@ -1,0 +1,190 @@
+package repro
+
+// Integration tests: cross-module pipelines over the synthetic benchmark
+// suite, exercising trace generation → profiling → placement → simulation
+// end to end with the invariants that hold regardless of workload.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/popular"
+	"repro/internal/program"
+	"repro/internal/tracegen"
+	"repro/internal/trg"
+	"repro/internal/wcg"
+)
+
+func suitePair(t *testing.T, name string) *tracegen.Pair {
+	t.Helper()
+	pair := tracegen.Lookup(tracegen.Suite(0.1), name)
+	if pair == nil {
+		t.Fatalf("missing benchmark %s", name)
+	}
+	return pair
+}
+
+// Every placement algorithm must produce a valid, complete layout on every
+// suite benchmark, and the simulator must accept it.
+func TestAllAlgorithmsOnAllBenchmarks(t *testing.T) {
+	cfg := cache.PaperConfig
+	for _, pair := range tracegen.Suite(0.05) {
+		pair := pair
+		t.Run(pair.Bench.Name, func(t *testing.T) {
+			prog := pair.Bench.Prog
+			train := pair.Bench.Trace(pair.Train)
+			test := pair.Bench.Trace(pair.Test)
+			pop := popular.Select(prog, train, popular.Options{})
+
+			layouts := map[string]*program.Layout{
+				"default": program.DefaultLayout(prog),
+			}
+			var err error
+			if layouts["ph"], err = baseline.PHLayout(prog, wcg.Build(train)); err != nil {
+				t.Fatalf("ph: %v", err)
+			}
+			if layouts["hkc"], err = baseline.HKC(prog, wcg.BuildFiltered(train, pop.Contains), pop, cfg); err != nil {
+				t.Fatalf("hkc: %v", err)
+			}
+			res, err := trg.Build(prog, train, trg.Options{CacheBytes: cfg.SizeBytes, Popular: pop})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if layouts["gbsc"], err = core.Place(prog, res, pop, cfg); err != nil {
+				t.Fatalf("gbsc: %v", err)
+			}
+
+			for name, l := range layouts {
+				if err := l.Validate(); err != nil {
+					t.Errorf("%s: invalid layout: %v", name, err)
+					continue
+				}
+				st, err := cache.RunTrace(cfg, l, test)
+				if err != nil {
+					t.Errorf("%s: %v", name, err)
+					continue
+				}
+				if st.Misses > st.Refs || st.Refs == 0 {
+					t.Errorf("%s: nonsense stats %+v", name, st)
+				}
+			}
+		})
+	}
+}
+
+// GBSC must beat the expectation of random layouts on its training input —
+// a placement that cannot beat chance is broken no matter the workload.
+func TestGBSCBeatsRandomOnTrainingInput(t *testing.T) {
+	cfg := cache.PaperConfig
+	pair := suitePair(t, "perl")
+	prog := pair.Bench.Prog
+	train := pair.Bench.Trace(pair.Train)
+	pop := popular.Select(prog, train, popular.Options{})
+	res, err := trg.Build(prog, train, trg.Options{CacheBytes: cfg.SizeBytes, Popular: pop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := core.Place(prog, res, pop, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := cache.MissRate(cfg, layout, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	var sum float64
+	const samples = 5
+	for i := 0; i < samples; i++ {
+		mr, err := cache.MissRate(cfg, baseline.RandomLayout(prog, rng), train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += mr
+	}
+	avgRandom := sum / samples
+	if opt >= avgRandom {
+		t.Errorf("GBSC %.4f not better than average random %.4f", opt, avgRandom)
+	}
+}
+
+// The whole pipeline is deterministic: same inputs, same layout.
+func TestPipelineDeterministic(t *testing.T) {
+	cfg := cache.PaperConfig
+	build := func() *program.Layout {
+		pair := suitePair(t, "go")
+		prog := pair.Bench.Prog
+		train := pair.Bench.Trace(pair.Train)
+		pop := popular.Select(prog, train, popular.Options{})
+		res, err := trg.Build(prog, train, trg.Options{CacheBytes: cfg.SizeBytes, Popular: pop})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := core.Place(prog, res, pop, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	a, b := build(), build()
+	for p := 0; p < a.Program().NumProcs(); p++ {
+		if a.Addr(program.ProcID(p)) != b.Addr(program.ProcID(p)) {
+			t.Fatalf("layouts differ at procedure %d", p)
+		}
+	}
+}
+
+// Smaller caches must never have fewer misses than larger ones for the
+// same layout and trace (direct-mapped caches of power-of-two sizes nest).
+func TestMissesMonotoneInCacheSize(t *testing.T) {
+	pair := suitePair(t, "m88ksim")
+	prog := pair.Bench.Prog
+	tr := pair.Bench.Trace(pair.Train)
+	layout := program.DefaultLayout(prog)
+	var prev int64 = -1
+	for _, size := range []int{32768, 16384, 8192, 4096, 2048} {
+		st, err := cache.RunTrace(cache.Config{SizeBytes: size, LineBytes: 32, Assoc: 1}, layout, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && st.Misses < prev {
+			t.Errorf("cache %dB has fewer misses (%d) than the next larger size (%d)",
+				size, st.Misses, prev)
+		}
+		prev = st.Misses
+	}
+}
+
+// The paper also ran smaller caches ("we also experimented with smaller
+// cache sizes and obtained similar results"): GBSC must still beat the
+// default layout at 4 KB.
+func TestGBSCWinsAtSmallerCache(t *testing.T) {
+	cfg := cache.Config{SizeBytes: 4096, LineBytes: 32, Assoc: 1}
+	pair := suitePair(t, "perl")
+	prog := pair.Bench.Prog
+	train := pair.Bench.Trace(pair.Train)
+	pop := popular.Select(prog, train, popular.Options{})
+	res, err := trg.Build(prog, train, trg.Options{CacheBytes: cfg.SizeBytes, Popular: pop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := core.Place(prog, res, pop, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := cache.MissRate(cfg, layout, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := cache.MissRate(cfg, program.DefaultLayout(prog), train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt >= def {
+		t.Errorf("4KB cache: GBSC %.4f not better than default %.4f", opt, def)
+	}
+}

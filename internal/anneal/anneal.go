@@ -1,0 +1,190 @@
+// Package anneal implements a simulated-annealing procedure placement over
+// cache-relative offsets. It is not part of the paper's comparison; it
+// serves as a strong reference optimizer at scales where the exhaustive
+// search of internal/optimal is infeasible, answering "how much headroom is
+// left above GBSC?" The annealer optimizes the same TRG_place conflict
+// metric GBSC's merge phase uses (Figure 6 showed that metric to be an
+// excellent linear proxy for misses), so the two are directly comparable.
+package anneal
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/cache"
+	"repro/internal/graph"
+	"repro/internal/place"
+	"repro/internal/popular"
+	"repro/internal/program"
+	"repro/internal/trg"
+)
+
+// Options tunes the annealer.
+type Options struct {
+	// Steps is the number of proposed moves. Default 20000.
+	Steps int
+	// StartTemp and EndTemp bound the geometric cooling schedule,
+	// expressed as fractions of the initial cost. Defaults 0.1 and 1e-4.
+	StartTemp, EndTemp float64
+	// Seed drives the proposal sequence. Default 1.
+	Seed int64
+	// Init provides the starting offsets; nil starts from all-zero.
+	Init []place.Placed
+}
+
+func (o *Options) setDefaults() {
+	if o.Steps == 0 {
+		o.Steps = 20000
+	}
+	if o.StartTemp == 0 {
+		o.StartTemp = 0.1
+	}
+	if o.EndTemp == 0 {
+		o.EndTemp = 1e-4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Place anneals cache-relative offsets for the popular procedures against
+// the TRG_place metric and returns the linearized layout. res must come
+// from trg.Build over the same program and popular set.
+func Place(prog *program.Program, res *trg.Result, pop *popular.Set, cfg cache.Config, opts Options) (*program.Layout, error) {
+	opts.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if pop == nil {
+		pop = popular.All(prog)
+	}
+	period := cfg.NumLines()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	items := make([]place.Placed, len(pop.IDs))
+	for i, p := range pop.IDs {
+		items[i] = place.Placed{Proc: p, Line: 0}
+	}
+	if opts.Init != nil {
+		copy(items, opts.Init)
+	}
+
+	ev := newEvaluator(prog, res, cfg, period, items)
+	cost := ev.totalCost(items)
+	best := append([]place.Placed(nil), items...)
+	bestCost := cost
+
+	t0 := opts.StartTemp * math.Max(float64(cost), 1)
+	t1 := opts.EndTemp * math.Max(float64(cost), 1)
+	for step := 0; step < opts.Steps; step++ {
+		frac := float64(step) / float64(opts.Steps)
+		temp := t0 * math.Pow(t1/t0, frac)
+
+		idx := rng.Intn(len(items))
+		oldLine := items[idx].Line
+		newLine := rng.Intn(period)
+		if newLine == oldLine {
+			continue
+		}
+		delta := ev.moveDelta(items, idx, newLine)
+		if delta <= 0 || rng.Float64() < math.Exp(-float64(delta)/temp) {
+			ev.apply(items, idx, newLine)
+			items[idx].Line = newLine
+			cost += delta
+			if cost < bestCost {
+				bestCost = cost
+				copy(best, items)
+			}
+		}
+	}
+	return place.Linearize(prog, best, pop.Unpopular(prog), cfg, period)
+}
+
+// evaluator incrementally maintains the TRG_place conflict cost: per cache
+// line, the chunks resident there; per move, only the moved procedure's
+// chunk-pair weights change.
+type evaluator struct {
+	prog   *program.Program
+	res    *trg.Result
+	cfg    cache.Config
+	period int
+	// lineChunks[l] holds resident chunks with their owning item index.
+	lineChunks [][]chunkRef
+}
+
+type chunkRef struct {
+	item  int
+	chunk program.ChunkID
+}
+
+func newEvaluator(prog *program.Program, res *trg.Result, cfg cache.Config, period int, items []place.Placed) *evaluator {
+	ev := &evaluator{prog: prog, res: res, cfg: cfg, period: period,
+		lineChunks: make([][]chunkRef, period)}
+	for i, it := range items {
+		ev.insert(items, i, it.Line)
+	}
+	return ev
+}
+
+func (ev *evaluator) linesOf(p program.ProcID) int {
+	return ev.prog.SizeLines(p, ev.cfg.LineBytes)
+}
+
+func (ev *evaluator) chunkAt(p program.ProcID, lineIdx int) program.ChunkID {
+	return ev.res.Chunker.ChunkAtOffset(p, lineIdx*ev.cfg.LineBytes)
+}
+
+func (ev *evaluator) insert(items []place.Placed, idx, line int) {
+	p := items[idx].Proc
+	for i := 0; i < ev.linesOf(p); i++ {
+		l := (line + i) % ev.period
+		ev.lineChunks[l] = append(ev.lineChunks[l], chunkRef{item: idx, chunk: ev.chunkAt(p, i)})
+	}
+}
+
+func (ev *evaluator) remove(idx int) {
+	for l := range ev.lineChunks {
+		out := ev.lineChunks[l][:0]
+		for _, cr := range ev.lineChunks[l] {
+			if cr.item != idx {
+				out = append(out, cr)
+			}
+		}
+		ev.lineChunks[l] = out
+	}
+}
+
+// costAt sums the weights between procedure p's chunks (placed at line)
+// and everything else resident, excluding item idx itself.
+func (ev *evaluator) costAt(items []place.Placed, idx, line int) int64 {
+	p := items[idx].Proc
+	var total int64
+	for i := 0; i < ev.linesOf(p); i++ {
+		l := (line + i) % ev.period
+		mine := ev.chunkAt(p, i)
+		for _, cr := range ev.lineChunks[l] {
+			if cr.item == idx {
+				continue
+			}
+			total += ev.res.Place.Weight(graph.NodeID(mine), graph.NodeID(cr.chunk))
+		}
+	}
+	return total
+}
+
+func (ev *evaluator) moveDelta(items []place.Placed, idx, newLine int) int64 {
+	return ev.costAt(items, idx, newLine) - ev.costAt(items, idx, items[idx].Line)
+}
+
+func (ev *evaluator) apply(items []place.Placed, idx, newLine int) {
+	ev.remove(idx)
+	ev.insert(items, idx, newLine)
+}
+
+func (ev *evaluator) totalCost(items []place.Placed) int64 {
+	var total int64
+	for i := range items {
+		total += ev.costAt(items, i, items[i].Line)
+	}
+	return total / 2
+}

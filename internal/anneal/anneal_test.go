@@ -1,0 +1,128 @@
+package anneal
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/popular"
+	"repro/internal/program"
+	"repro/internal/trace"
+	"repro/internal/trg"
+)
+
+var tiny = cache.Config{SizeBytes: 128, LineBytes: 32, Assoc: 1}
+
+func TestAnnealSeparatesConflictingPair(t *testing.T) {
+	prog := program.MustNew([]program.Procedure{
+		{Name: "a", Size: 32},
+		{Name: "b", Size: 32},
+	})
+	tr := &trace.Trace{}
+	for i := 0; i < 50; i++ {
+		tr.Append(trace.Event{Proc: 0})
+		tr.Append(trace.Event{Proc: 1})
+	}
+	res, err := trg.Build(prog, tr, trg.Options{CacheBytes: tiny.SizeBytes, ChunkSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Place(prog, res, nil, tiny, Options{Steps: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n := tiny.NumLines()
+	if l.StartLine(0, 32, n) == l.StartLine(1, 32, n) {
+		t.Error("annealer left the alternating pair on the same line")
+	}
+	st, err := cache.RunTrace(tiny, l, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Misses != 2 {
+		t.Errorf("misses = %d, want 2 cold", st.Misses)
+	}
+}
+
+func TestAnnealDeterministicPerSeed(t *testing.T) {
+	prog := program.MustNew([]program.Procedure{
+		{Name: "a", Size: 64},
+		{Name: "b", Size: 64},
+		{Name: "c", Size: 64},
+	})
+	tr := &trace.Trace{}
+	for i := 0; i < 60; i++ {
+		tr.Append(trace.Event{Proc: program.ProcID(i % 3)})
+	}
+	res, err := trg.Build(prog, tr, trg.Options{CacheBytes: tiny.SizeBytes, ChunkSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Place(prog, res, nil, tiny, Options{Steps: 1000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Place(prog, res, nil, tiny, Options{Steps: 1000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 3; p++ {
+		if a.Addr(program.ProcID(p)) != b.Addr(program.ProcID(p)) {
+			t.Fatal("same seed produced different layouts")
+		}
+	}
+}
+
+// The annealer's result is the sanity reference: GBSC should land within a
+// modest factor of it on a mid-sized workload, confirming the greedy
+// heuristic leaves little headroom (the point of including an annealer).
+func TestGBSCCompetitiveWithAnnealing(t *testing.T) {
+	cfg := cache.Config{SizeBytes: 1024, LineBytes: 32, Assoc: 1}
+	procs := make([]program.Procedure, 12)
+	for i := range procs {
+		procs[i] = program.Procedure{Name: string(rune('a' + i)), Size: 96 + 32*(i%4)}
+	}
+	prog := program.MustNew(procs)
+	tr := &trace.Trace{}
+	for i := 0; i < 3000; i++ {
+		phase := (i / 750) % 4
+		tr.Append(trace.Event{Proc: program.ProcID((phase*3 + i%4) % 12)})
+	}
+	pop := popular.All(prog)
+	res, err := trg.Build(prog, tr, trg.Options{CacheBytes: cfg.SizeBytes, ChunkSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gl, err := core.Place(prog, res, pop, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := Place(prog, res, pop, cfg, Options{Steps: 30000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gm := metrics.TRGConflict(gl, res.Place, res.Chunker, cfg)
+	am := metrics.TRGConflict(al, res.Place, res.Chunker, cfg)
+	// GBSC within 2x of the annealed metric (usually much closer).
+	if gm > 2*am+100 {
+		t.Errorf("GBSC metric %d far above annealed %d", gm, am)
+	}
+
+	gmr, err := cache.MissRate(cfg, gl, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amr, err := cache.MissRate(cfg, al, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gmr > 2*amr+0.01 {
+		t.Errorf("GBSC miss rate %.4f far above annealed %.4f", gmr, amr)
+	}
+}

@@ -1,0 +1,145 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/popular"
+	"repro/internal/program"
+	"repro/internal/trace"
+	"repro/internal/wcg"
+)
+
+var hkcCache = cache.Config{SizeBytes: 256, LineBytes: 32, Assoc: 1} // 8 lines
+
+func TestHKCAvoidsNeighborOverlap(t *testing.T) {
+	// caller (5 lines) calls two callees (3 lines each): the callees must
+	// not overlap the caller in the cache even though caller+callee > cache.
+	prog := program.MustNew([]program.Procedure{
+		{Name: "caller", Size: 160}, // 5 lines
+		{Name: "calleeA", Size: 96}, // 3 lines
+		{Name: "calleeB", Size: 64}, // 2 lines
+	})
+	tr := &trace.Trace{}
+	for i := 0; i < 40; i++ {
+		tr.Append(trace.Event{Proc: 0})
+		tr.Append(trace.Event{Proc: 1})
+		tr.Append(trace.Event{Proc: 0})
+		tr.Append(trace.Event{Proc: 2})
+	}
+	g := wcg.Build(tr)
+	l, err := HKC(prog, g, nil, hkcCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lines := func(p program.ProcID) map[int]bool {
+		out := map[int]bool{}
+		start := l.StartLine(p, hkcCache.LineBytes, hkcCache.NumLines())
+		for i := 0; i < prog.SizeLines(p, hkcCache.LineBytes); i++ {
+			out[(start+i)%hkcCache.NumLines()] = true
+		}
+		return out
+	}
+	caller := lines(0)
+	for _, callee := range []program.ProcID{1, 2} {
+		for ln := range lines(callee) {
+			if caller[ln] {
+				t.Errorf("callee %d overlaps caller on line %d", callee, ln)
+			}
+		}
+	}
+}
+
+func TestHKCBeatsConflictingDefault(t *testing.T) {
+	// Construct a program whose default layout conflicts badly and verify
+	// HKC improves it.
+	prog := program.MustNew([]program.Procedure{
+		{Name: "hot1", Size: 4096},
+		{Name: "pad", Size: 4096},
+		{Name: "hot2", Size: 4096},
+	})
+	tr := &trace.Trace{}
+	for i := 0; i < 100; i++ {
+		tr.Append(trace.Event{Proc: 0, Extent: 1024})
+		tr.Append(trace.Event{Proc: 2, Extent: 1024})
+	}
+	cfg := cache.PaperConfig
+	l, err := HKC(prog, wcg.Build(tr), nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hkcStats, err := cache.RunTrace(cfg, l, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := program.NewLayout(prog)
+	bad.SetAddr(0, 0)
+	bad.SetAddr(1, 16384)
+	bad.SetAddr(2, 8192) // hot2 exactly one cache size after hot1
+	badStats, err := cache.RunTrace(cfg, bad, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hkcStats.Misses >= badStats.Misses {
+		t.Errorf("HKC misses %d not better than conflicting layout %d", hkcStats.Misses, badStats.Misses)
+	}
+}
+
+func TestHKCCoversAllProcedures(t *testing.T) {
+	prog := program.MustNew([]program.Procedure{
+		{Name: "a", Size: 64},
+		{Name: "b", Size: 64},
+		{Name: "cold", Size: 64},
+	})
+	tr := &trace.Trace{}
+	for i := 0; i < 20; i++ {
+		tr.Append(trace.Event{Proc: 0})
+		tr.Append(trace.Event{Proc: 1})
+	}
+	tr.Append(trace.Event{Proc: 2})
+	pop := popular.Select(prog, tr, popular.Options{Coverage: 0.9, MinCount: 2})
+	g := wcg.BuildFiltered(tr, pop.Contains)
+	l, err := HKC(prog, g, pop, hkcCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Extent() < prog.TotalSize() {
+		t.Errorf("extent %d < total %d: some procedure unplaced", l.Extent(), prog.TotalSize())
+	}
+}
+
+// Property: HKC always produces valid complete layouts.
+func TestHKCAlwaysValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 2
+		procs := make([]program.Procedure, n)
+		for i := range procs {
+			procs[i] = program.Procedure{
+				Name: "p" + string(rune('a'+i)),
+				Size: rng.Intn(1500) + 1,
+			}
+		}
+		prog := program.MustNew(procs)
+		tr := &trace.Trace{}
+		for i := 0; i < 300; i++ {
+			tr.Append(trace.Event{Proc: program.ProcID(rng.Intn(n))})
+		}
+		l, err := HKC(prog, wcg.Build(tr), nil, hkcCache)
+		if err != nil {
+			return false
+		}
+		return l.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

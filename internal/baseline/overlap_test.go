@@ -1,0 +1,82 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteOverlap is the obvious marking implementation of circular interval
+// overlap, used as the oracle for circOverlap.
+func bruteOverlap(a, la, b, lb, period int) int64 {
+	if la > period {
+		la = period
+	}
+	if lb > period {
+		lb = period
+	}
+	marked := make([]bool, period)
+	for i := 0; i < la; i++ {
+		marked[(a+i)%period] = true
+	}
+	var n int64
+	for i := 0; i < lb; i++ {
+		if marked[(b+i)%period] {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCircOverlapBasic(t *testing.T) {
+	cases := []struct {
+		a, la, b, lb, period int
+		want                 int64
+	}{
+		{0, 2, 2, 2, 8, 0},   // disjoint
+		{0, 2, 1, 2, 8, 1},   // single line shared
+		{0, 2, 0, 2, 8, 2},   // identical
+		{6, 4, 0, 2, 8, 2},   // a wraps over b
+		{0, 8, 3, 2, 8, 2},   // a covers everything
+		{0, 16, 5, 16, 8, 8}, // both exceed the period
+		{7, 1, 0, 1, 8, 0},   // adjacent across the wrap
+		{7, 2, 0, 1, 8, 1},   // a wraps onto b
+	}
+	for _, c := range cases {
+		if got := circOverlap(c.a, c.la, c.b, c.lb, c.period); got != c.want {
+			t.Errorf("circOverlap(%d,%d,%d,%d,%d) = %d, want %d",
+				c.a, c.la, c.b, c.lb, c.period, got, c.want)
+		}
+	}
+}
+
+func TestCircOverlapMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		period := rng.Intn(63) + 2
+		for i := 0; i < 200; i++ {
+			a, b := rng.Intn(period), rng.Intn(period)
+			la, lb := rng.Intn(2*period)+1, rng.Intn(2*period)+1
+			if circOverlap(a, la, b, lb, period) != bruteOverlap(a, la, b, lb, period) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCircOverlapSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		period := rng.Intn(63) + 2
+		a, b := rng.Intn(period), rng.Intn(period)
+		la, lb := rng.Intn(period)+1, rng.Intn(period)+1
+		return circOverlap(a, la, b, lb, period) == circOverlap(b, lb, a, la, period)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,152 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/program"
+	"repro/internal/trace"
+	"repro/internal/wcg"
+)
+
+func TestPHPlacesHeaviestPairAdjacent(t *testing.T) {
+	prog := program.MustNew([]program.Procedure{
+		{Name: "a", Size: 100},
+		{Name: "b", Size: 100},
+		{Name: "c", Size: 100},
+	})
+	// a↔b dominates; c is lightly attached to a.
+	tr := &trace.Trace{}
+	for i := 0; i < 50; i++ {
+		tr.Append(trace.Event{Proc: 0})
+		tr.Append(trace.Event{Proc: 1})
+	}
+	tr.Append(trace.Event{Proc: 0})
+	tr.Append(trace.Event{Proc: 2})
+	g := wcg.Build(tr)
+	l, err := PHLayout(prog, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	da := l.Addr(0)
+	db := l.Addr(1)
+	dist := da - db
+	if dist < 0 {
+		dist = -dist
+	}
+	if dist != 100 {
+		t.Errorf("a/b distance = %d, want adjacent (100)", dist)
+	}
+}
+
+func TestPHChainCombinationMinimizesHotPairDistance(t *testing.T) {
+	// Chains [a b] and [c d] with the heaviest cross edge between b and d:
+	// the combination must bring b and d together (AB' → a b d c).
+	prog := program.MustNew([]program.Procedure{
+		{Name: "a", Size: 10},
+		{Name: "b", Size: 10},
+		{Name: "c", Size: 10},
+		{Name: "d", Size: 10},
+	})
+	tr := &trace.Trace{}
+	add := func(p, q program.ProcID, times int) {
+		for i := 0; i < times; i++ {
+			tr.Append(trace.Event{Proc: p})
+			tr.Append(trace.Event{Proc: q})
+		}
+		tr.Append(trace.Event{Proc: p}) // break adjacency for the next pair
+	}
+	add(0, 1, 100) // a-b chain forms first
+	add(2, 3, 90)  // c-d chain forms second
+	add(1, 3, 50)  // b-d is the heaviest cross edge
+	g := wcg.Build(tr)
+	order := PH(prog, g)
+	pos := map[program.ProcID]int{}
+	for i, p := range order {
+		pos[p] = i
+	}
+	dist := pos[1] - pos[3]
+	if dist < 0 {
+		dist = -dist
+	}
+	if dist != 1 {
+		t.Errorf("b,d positions %d,%d not adjacent in order %v", pos[1], pos[3], order)
+	}
+}
+
+func TestPHLayoutAppendsUnexecutedProcedures(t *testing.T) {
+	prog := program.MustNew([]program.Procedure{
+		{Name: "a", Size: 10},
+		{Name: "b", Size: 10},
+		{Name: "never", Size: 10},
+	})
+	tr := trace.MustFromNames(prog, "a", "b", "a")
+	l, err := PHLayout(prog, wcg.Build(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Addr(2) != 20 {
+		t.Errorf("unexecuted procedure at %d, want appended at 20", l.Addr(2))
+	}
+}
+
+func TestPHReducesConflictsVsWorstCase(t *testing.T) {
+	// Two hot procedures that alternate plus filler: PH must beat the
+	// deliberately conflicting layout.
+	prog := program.MustNew([]program.Procedure{
+		{Name: "hot1", Size: 4096},
+		{Name: "filler", Size: 4096},
+		{Name: "hot2", Size: 4096},
+	})
+	tr := &trace.Trace{}
+	for i := 0; i < 100; i++ {
+		tr.Append(trace.Event{Proc: 0, Extent: 512})
+		tr.Append(trace.Event{Proc: 2, Extent: 512})
+	}
+	cfg := cache.PaperConfig
+	phl, err := PHLayout(prog, wcg.Build(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	phMisses, err := cache.RunTrace(cfg, phl, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst case: hot1 and hot2 exactly one cache size apart.
+	bad := program.NewLayout(prog)
+	bad.SetAddr(0, 0)
+	bad.SetAddr(1, 16384)
+	bad.SetAddr(2, 8192)
+	badMisses, err := cache.RunTrace(cfg, bad, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phMisses.Misses >= badMisses.Misses {
+		t.Errorf("PH misses %d not better than conflicting layout %d", phMisses.Misses, badMisses.Misses)
+	}
+}
+
+func TestRandomLayoutValidPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 1
+		procs := make([]program.Procedure, n)
+		for i := range procs {
+			procs[i] = program.Procedure{Name: string(rune('a' + i)), Size: rng.Intn(500) + 1}
+		}
+		prog := program.MustNew(procs)
+		l := RandomLayout(prog, rng)
+		return l.Validate() == nil && l.Extent() == prog.TotalSize()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,24 @@
+package baseline
+
+import (
+	"math/rand"
+
+	"repro/internal/program"
+)
+
+// RandomLayout packs the procedures back to back in a uniformly random
+// order drawn from rng. Used to calibrate how much headroom the optimizing
+// placements have over chance.
+func RandomLayout(prog *program.Program, rng *rand.Rand) *program.Layout {
+	order := make([]program.ProcID, prog.NumProcs())
+	for i := range order {
+		order[i] = program.ProcID(i)
+	}
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	l, err := program.OrderedLayout(prog, order)
+	if err != nil {
+		// A permutation of all procedures cannot fail validation.
+		panic(err)
+	}
+	return l
+}

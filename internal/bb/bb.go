@@ -1,0 +1,217 @@
+// Package bb models procedures at basic-block granularity: control-flow
+// graphs with profiled edge counts, block reordering (the bottom-up
+// positioning algorithm of Pettis & Hansen, cited throughout the paper's
+// related work), and the projection of block-level execution onto the
+// procedure-activation extents the placement pipeline consumes.
+//
+// Section 1 of the paper: "Though we focus on the placement of
+// variable-sized code blocks defined by procedure boundaries, our
+// techniques for capturing temporal information and using this information
+// during placement apply to code blocks of any granularity." This package
+// supplies the finer granularity: block reordering shortens the hot prefix
+// of each procedure, which the chunk-level TRG then exploits.
+package bb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Block is a basic block of straight-line code.
+type Block struct {
+	// Size in bytes; must be positive.
+	Size int
+}
+
+// Arc is a profiled control-flow edge between two blocks of one procedure.
+type Arc struct {
+	From, To int
+	// Count is how many times the edge executed in the profile.
+	Count int64
+}
+
+// CFG is an intra-procedure control-flow graph. Block 0 is the entry.
+type CFG struct {
+	Blocks []Block
+	Arcs   []Arc
+}
+
+// Validate checks block indices and sizes.
+func (c *CFG) Validate() error {
+	if len(c.Blocks) == 0 {
+		return fmt.Errorf("bb: empty CFG")
+	}
+	for i, b := range c.Blocks {
+		if b.Size <= 0 {
+			return fmt.Errorf("bb: block %d has non-positive size", i)
+		}
+	}
+	for _, a := range c.Arcs {
+		if a.From < 0 || a.From >= len(c.Blocks) || a.To < 0 || a.To >= len(c.Blocks) {
+			return fmt.Errorf("bb: arc %d->%d out of range", a.From, a.To)
+		}
+		if a.Count < 0 {
+			return fmt.Errorf("bb: arc %d->%d has negative count", a.From, a.To)
+		}
+	}
+	return nil
+}
+
+// Size returns the total byte size of the blocks.
+func (c *CFG) Size() int {
+	total := 0
+	for _, b := range c.Blocks {
+		total += b.Size
+	}
+	return total
+}
+
+// DefaultOrder is the source order: blocks as listed.
+func DefaultOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// Reorder computes a block order by Pettis & Hansen bottom-up positioning:
+// arcs are considered in decreasing profile count; an arc whose source is
+// the tail of one chain and whose target is the head of another joins the
+// two chains, straightening the hottest paths into fall-through runs.
+// Chains are then emitted with the entry chain first and the remaining
+// chains in decreasing incoming-arc weight. The entry block always comes
+// first in the result.
+func Reorder(c *CFG) ([]int, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(c.Blocks)
+
+	// chainOf[b] = chain id; chains[id] = block list (nil when merged away).
+	chainOf := make([]int, n)
+	chains := make([][]int, n)
+	for i := 0; i < n; i++ {
+		chainOf[i] = i
+		chains[i] = []int{i}
+	}
+	head := func(id int) int { return chains[id][0] }
+	tail := func(id int) int { return chains[id][len(chains[id])-1] }
+
+	arcs := append([]Arc(nil), c.Arcs...)
+	sort.SliceStable(arcs, func(i, j int) bool {
+		if arcs[i].Count != arcs[j].Count {
+			return arcs[i].Count > arcs[j].Count
+		}
+		if arcs[i].From != arcs[j].From {
+			return arcs[i].From < arcs[j].From
+		}
+		return arcs[i].To < arcs[j].To
+	})
+	for _, a := range arcs {
+		if a.Count == 0 || a.To == 0 {
+			// The entry block can never become a fall-through target.
+			continue
+		}
+		ca, cb := chainOf[a.From], chainOf[a.To]
+		if ca == cb || tail(ca) != a.From || head(cb) != a.To {
+			continue
+		}
+		chains[ca] = append(chains[ca], chains[cb]...)
+		for _, b := range chains[cb] {
+			chainOf[b] = ca
+		}
+		chains[cb] = nil
+	}
+
+	// Weight each surviving chain by its hottest incoming arc.
+	weight := make(map[int]int64)
+	for _, a := range c.Arcs {
+		id := chainOf[a.To]
+		if a.Count > weight[id] {
+			weight[id] = a.Count
+		}
+	}
+	var ids []int
+	for id, blocks := range chains {
+		if blocks != nil {
+			ids = append(ids, id)
+		}
+	}
+	entryChain := chainOf[0]
+	sort.SliceStable(ids, func(i, j int) bool {
+		if ids[i] == entryChain {
+			return true
+		}
+		if ids[j] == entryChain {
+			return false
+		}
+		if weight[ids[i]] != weight[ids[j]] {
+			return weight[ids[i]] > weight[ids[j]]
+		}
+		return head(ids[i]) < head(ids[j])
+	})
+
+	var order []int
+	for _, id := range ids {
+		order = append(order, chains[id]...)
+	}
+	return order, nil
+}
+
+// Offsets returns each block's byte offset under the given order.
+func (c *CFG) Offsets(order []int) ([]int, error) {
+	if err := c.checkOrder(order); err != nil {
+		return nil, err
+	}
+	off := make([]int, len(c.Blocks))
+	cursor := 0
+	for _, b := range order {
+		off[b] = cursor
+		cursor += c.Blocks[b].Size
+	}
+	return off, nil
+}
+
+// ExtentOf returns the prefix extent, in bytes, that an activation
+// executing exactly the given blocks touches under the order: the end of
+// the furthest executed block. Sequential instruction fetch streams through
+// everything up to the last executed block, so a hot-path-first order
+// yields small extents for common activations — the mechanism by which
+// block reordering helps procedure placement.
+func (c *CFG) ExtentOf(order []int, executed []bool) (int, error) {
+	if len(executed) != len(c.Blocks) {
+		return 0, fmt.Errorf("bb: executed mask has %d entries for %d blocks", len(executed), len(c.Blocks))
+	}
+	off, err := c.Offsets(order)
+	if err != nil {
+		return 0, err
+	}
+	extent := 0
+	for b, ran := range executed {
+		if !ran {
+			continue
+		}
+		if end := off[b] + c.Blocks[b].Size; end > extent {
+			extent = end
+		}
+	}
+	return extent, nil
+}
+
+func (c *CFG) checkOrder(order []int) error {
+	if len(order) != len(c.Blocks) {
+		return fmt.Errorf("bb: order has %d blocks, CFG has %d", len(order), len(c.Blocks))
+	}
+	seen := make([]bool, len(c.Blocks))
+	for _, b := range order {
+		if b < 0 || b >= len(c.Blocks) {
+			return fmt.Errorf("bb: order references block %d", b)
+		}
+		if seen[b] {
+			return fmt.Errorf("bb: order lists block %d twice", b)
+		}
+		seen[b] = true
+	}
+	return nil
+}

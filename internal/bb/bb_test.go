@@ -1,0 +1,288 @@
+package bb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// diamond builds the canonical skewed if/else: entry → {hot, cold} → join.
+func diamond() *CFG {
+	return &CFG{
+		Blocks: []Block{{Size: 32}, {Size: 64}, {Size: 128}, {Size: 32}},
+		Arcs: []Arc{
+			{From: 0, To: 1, Count: 90},
+			{From: 0, To: 2, Count: 10},
+			{From: 1, To: 3, Count: 90},
+			{From: 2, To: 3, Count: 10},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := diamond().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*CFG{
+		{},
+		{Blocks: []Block{{Size: 0}}},
+		{Blocks: []Block{{Size: 4}}, Arcs: []Arc{{From: 0, To: 5, Count: 1}}},
+		{Blocks: []Block{{Size: 4}}, Arcs: []Arc{{From: 0, To: 0, Count: -1}}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad CFG %d accepted", i)
+		}
+	}
+}
+
+func TestReorderStraightensHotPath(t *testing.T) {
+	order, err := Reorder(diamond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 3, 2} // hot path falls through; cold block exiled
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestReorderKeepsEntryFirst(t *testing.T) {
+	// A loop whose hottest arc targets the entry: the entry must still be
+	// placed first.
+	c := &CFG{
+		Blocks: []Block{{Size: 32}, {Size: 32}},
+		Arcs: []Arc{
+			{From: 0, To: 1, Count: 50},
+			{From: 1, To: 0, Count: 500}, // hot back edge
+		},
+	}
+	order, err := Reorder(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != 0 {
+		t.Errorf("order = %v, entry not first", order)
+	}
+}
+
+func TestExtentShrinksUnderReorder(t *testing.T) {
+	c := diamond()
+	hotExec := []bool{true, true, false, true} // the common walk
+	defExt, err := c.ExtentOf(DefaultOrder(4), hotExec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := Reorder(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optExt, err := c.ExtentOf(order, hotExec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default order streams over the 128-byte cold block: 32+64+128+32.
+	if defExt != 256 {
+		t.Errorf("default extent = %d, want 256", defExt)
+	}
+	// Reordered, the hot walk stops after entry+hot+join: 32+64+32.
+	if optExt != 128 {
+		t.Errorf("reordered extent = %d, want 128", optExt)
+	}
+}
+
+func TestOffsets(t *testing.T) {
+	c := diamond()
+	off, err := c.Offsets([]int{0, 1, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 32, 128, 96} // block 3 at 96, block 2 last at 128
+	if off[0] != 0 || off[1] != 32 || off[3] != 96 || off[2] != 128 {
+		t.Errorf("offsets = %v, want %v", off, want)
+	}
+}
+
+func TestOrderValidation(t *testing.T) {
+	c := diamond()
+	bad := [][]int{
+		{0, 1, 2},    // short
+		{0, 1, 2, 2}, // duplicate
+		{0, 1, 2, 9}, // out of range
+	}
+	for _, o := range bad {
+		if _, err := c.Offsets(o); err == nil {
+			t.Errorf("Offsets(%v) accepted", o)
+		}
+	}
+	if _, err := c.ExtentOf(DefaultOrder(4), []bool{true}); err == nil {
+		t.Error("ExtentOf accepted wrong-length mask")
+	}
+}
+
+func TestWalkTerminatesAndCoversEntry(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := diamond()
+	for i := 0; i < 100; i++ {
+		exec, err := c.Walk(rng, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !exec[0] || !exec[3] {
+			t.Fatalf("walk missed entry or join: %v", exec)
+		}
+		if exec[1] == false && exec[2] == false {
+			t.Fatalf("walk skipped both branch sides: %v", exec)
+		}
+	}
+}
+
+func TestWalkFollowsBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := diamond()
+	hot, cold := 0, 0
+	for i := 0; i < 1000; i++ {
+		exec, err := c.Walk(rng, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exec[1] {
+			hot++
+		}
+		if exec[2] {
+			cold++
+		}
+	}
+	if hot < 800 || cold > 200 {
+		t.Errorf("hot/cold = %d/%d, want ~90/10 split", hot, cold)
+	}
+}
+
+func TestProfileFromWalks(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := diamond()
+	prof, err := c.ProfileFromWalks(rng, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hotCount, coldCount int64
+	for _, a := range prof.Arcs {
+		if a.From == 0 && a.To == 1 {
+			hotCount = a.Count
+		}
+		if a.From == 0 && a.To == 2 {
+			coldCount = a.Count
+		}
+	}
+	if hotCount+coldCount != 1000 {
+		t.Errorf("entry arcs sum %d, want 1000", hotCount+coldCount)
+	}
+	if hotCount < 800 {
+		t.Errorf("hot arc count %d, want ~900", hotCount)
+	}
+}
+
+func TestSynthCFG(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c, err := SynthCFG(rng, 5, func() int { return 32 + rng.Intn(64) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 entry + 3 blocks per region.
+	if len(c.Blocks) != 16 {
+		t.Errorf("blocks = %d, want 16", len(c.Blocks))
+	}
+	// Walks terminate.
+	for i := 0; i < 50; i++ {
+		if _, err := c.Walk(rng, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := SynthCFG(rng, 0, func() int { return 32 }); err == nil {
+		t.Error("SynthCFG accepted zero regions")
+	}
+}
+
+// Property: Reorder always returns a valid permutation with the entry
+// first, and total size is order-invariant.
+func TestReorderPermutationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := SynthCFG(rng, rng.Intn(8)+1, func() int { return 16 + rng.Intn(100) })
+		if err != nil {
+			return false
+		}
+		order, err := Reorder(c)
+		if err != nil {
+			return false
+		}
+		if len(order) != len(c.Blocks) || order[0] != 0 {
+			return false
+		}
+		seen := make([]bool, len(c.Blocks))
+		for _, b := range order {
+			if b < 0 || b >= len(c.Blocks) || seen[b] {
+				return false
+			}
+			seen[b] = true
+		}
+		off, err := c.Offsets(order)
+		if err != nil {
+			return false
+		}
+		// The furthest block must end exactly at the total size.
+		max := 0
+		for b, o := range off {
+			if end := o + c.Blocks[b].Size; end > max {
+				max = end
+			}
+		}
+		return max == c.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for the hottest single walk, the reordered extent never
+// exceeds the default extent by more than one block (reordering optimizes
+// exactly this quantity).
+func TestReorderHelpsHotWalkProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := SynthCFG(rng, rng.Intn(6)+2, func() int { return 16 + rng.Intn(100) })
+		if err != nil {
+			return false
+		}
+		order, err := Reorder(c)
+		if err != nil {
+			return false
+		}
+		// Average extents over walks (shared walk sequence).
+		wrng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		var defSum, optSum int64
+		for i := 0; i < 60; i++ {
+			exec, err := c.Walk(wrng, 0)
+			if err != nil {
+				return false
+			}
+			d, err := c.ExtentOf(DefaultOrder(len(c.Blocks)), exec)
+			if err != nil {
+				return false
+			}
+			o, err := c.ExtentOf(order, exec)
+			if err != nil {
+				return false
+			}
+			defSum += int64(d)
+			optSum += int64(o)
+		}
+		// On average the reordered extents must not be worse.
+		return optSum <= defSum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+package bb
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Walk simulates one activation: a random walk from the entry block,
+// choosing successors in proportion to their profiled arc counts, until a
+// block with no outgoing arcs (a return) is reached. It returns the set of
+// executed blocks. maxSteps bounds pathological loops.
+func (c *CFG) Walk(rng *rand.Rand, maxSteps int) ([]bool, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if maxSteps <= 0 {
+		maxSteps = 10 * len(c.Blocks)
+	}
+	succs := make([][]Arc, len(c.Blocks))
+	for _, a := range c.Arcs {
+		if a.Count > 0 {
+			succs[a.From] = append(succs[a.From], a)
+		}
+	}
+	executed := make([]bool, len(c.Blocks))
+	cur := 0
+	for step := 0; step < maxSteps; step++ {
+		executed[cur] = true
+		out := succs[cur]
+		if len(out) == 0 {
+			return executed, nil
+		}
+		var total int64
+		for _, a := range out {
+			total += a.Count
+		}
+		x := rng.Int63n(total)
+		next := out[len(out)-1].To
+		for _, a := range out {
+			x -= a.Count
+			if x < 0 {
+				next = a.To
+				break
+			}
+		}
+		cur = next
+	}
+	return executed, nil
+}
+
+// ProfileFromWalks accumulates arc counts from repeated walks, producing
+// the edge profile a real profiler would collect. The walk probabilities
+// come from the structural arc counts already in the CFG (interpreted as
+// branch biases); the returned CFG has the observed counts instead.
+func (c *CFG) ProfileFromWalks(rng *rand.Rand, walks, maxSteps int) (*CFG, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if maxSteps <= 0 {
+		maxSteps = 10 * len(c.Blocks)
+	}
+	succs := make([][]int, len(c.Blocks)) // indices into arcs
+	arcs := append([]Arc(nil), c.Arcs...)
+	for i, a := range arcs {
+		if a.Count > 0 {
+			succs[a.From] = append(succs[a.From], i)
+		}
+	}
+	observed := make([]int64, len(arcs))
+	for w := 0; w < walks; w++ {
+		cur := 0
+		for step := 0; step < maxSteps; step++ {
+			out := succs[cur]
+			if len(out) == 0 {
+				break
+			}
+			var total int64
+			for _, ai := range out {
+				total += arcs[ai].Count
+			}
+			x := rng.Int63n(total)
+			chosen := out[len(out)-1]
+			for _, ai := range out {
+				x -= arcs[ai].Count
+				if x < 0 {
+					chosen = ai
+					break
+				}
+			}
+			observed[chosen]++
+			cur = arcs[chosen].To
+		}
+	}
+	out := &CFG{Blocks: append([]Block(nil), c.Blocks...)}
+	for i, a := range arcs {
+		out.Arcs = append(out.Arcs, Arc{From: a.From, To: a.To, Count: observed[i]})
+	}
+	return out, nil
+}
+
+// SynthCFG generates a structured random CFG: a chain of diamond
+// (if/else) regions with optional back edges (loops) and early returns,
+// the shapes real compilers emit. Branch biases are skewed so one side of
+// each diamond is hot — the property block reordering exploits.
+func SynthCFG(rng *rand.Rand, regions int, blockSize func() int) (*CFG, error) {
+	if regions <= 0 {
+		return nil, fmt.Errorf("bb: regions must be positive")
+	}
+	c := &CFG{}
+	add := func() int {
+		c.Blocks = append(c.Blocks, Block{Size: blockSize()})
+		return len(c.Blocks) - 1
+	}
+	arc := func(from, to int, count int64) {
+		c.Arcs = append(c.Arcs, Arc{From: from, To: to, Count: count})
+	}
+
+	cur := add() // entry
+	for r := 0; r < regions; r++ {
+		hot := add()
+		cold := add()
+		join := add()
+		// Skewed diamond: the hot side takes 80-99% of executions.
+		hotness := int64(80 + rng.Intn(20))
+		arc(cur, hot, hotness)
+		arc(cur, cold, 100-hotness)
+		arc(hot, join, hotness)
+		arc(cold, join, 100-hotness)
+		// Occasional loop back to the region head. Never on the last
+		// region: its join is the procedure exit and must terminate walks.
+		if r < regions-1 && rng.Float64() < 0.3 {
+			arc(join, cur, 2+int64(rng.Intn(5)))
+		}
+		cur = join
+	}
+	// cur is the exit (no outgoing arcs).
+	return c, c.Validate()
+}

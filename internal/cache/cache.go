@@ -1,0 +1,175 @@
+// Package cache implements trace-driven instruction-cache simulation for
+// direct-mapped and set-associative (LRU) caches. It is the measurement
+// device of the paper's evaluation: given a layout and a trace, it reports
+// the instruction-cache miss rate of the resulting executable.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// Config describes an instruction cache.
+type Config struct {
+	// SizeBytes is the total cache capacity in bytes.
+	SizeBytes int
+	// LineBytes is the cache line (block) size in bytes.
+	LineBytes int
+	// Assoc is the set associativity; 1 means direct-mapped.
+	Assoc int
+}
+
+// PaperConfig is the cache used throughout the paper's evaluation
+// (Section 5.2): 8 KB direct-mapped with 32-byte lines.
+var PaperConfig = Config{SizeBytes: 8192, LineBytes: 32, Assoc: 1}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache: non-positive config %+v", c)
+	}
+	if c.SizeBytes%c.LineBytes != 0 {
+		return fmt.Errorf("cache: size %d not a multiple of line size %d", c.SizeBytes, c.LineBytes)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines%c.Assoc != 0 {
+		return fmt.Errorf("cache: %d lines not divisible by associativity %d", lines, c.Assoc)
+	}
+	return nil
+}
+
+// NumLines returns the total number of cache lines.
+func (c Config) NumLines() int { return c.SizeBytes / c.LineBytes }
+
+// NumSets returns the number of sets (NumLines for direct-mapped caches
+// divided by associativity).
+func (c Config) NumSets() int { return c.NumLines() / c.Assoc }
+
+// Stats accumulates simulation results.
+type Stats struct {
+	Refs   int64
+	Misses int64
+}
+
+// MissRate returns Misses/Refs, or 0 for an empty simulation.
+func (s Stats) MissRate() float64 {
+	if s.Refs == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Refs)
+}
+
+// Add merges other into s.
+func (s *Stats) Add(other Stats) {
+	s.Refs += other.Refs
+	s.Misses += other.Misses
+}
+
+// Sim is a functional instruction-cache simulator. The tag stored per way is
+// the line-granular memory address (address / LineBytes), which uniquely
+// identifies the cached content.
+type Sim struct {
+	cfg   Config
+	sets  [][]int64 // sets[s] is an LRU-ordered list (front = MRU) of line tags
+	stats Stats
+}
+
+// NewSim creates a simulator for the given configuration.
+func NewSim(cfg Config) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sim{cfg: cfg, sets: make([][]int64, cfg.NumSets())}
+	for i := range s.sets {
+		s.sets[i] = make([]int64, 0, cfg.Assoc)
+	}
+	return s, nil
+}
+
+// MustNewSim is NewSim but panics on error.
+func MustNewSim(cfg Config) *Sim {
+	s, err := NewSim(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the simulator's configuration.
+func (s *Sim) Config() Config { return s.cfg }
+
+// Reset clears cache contents and statistics.
+func (s *Sim) Reset() {
+	for i := range s.sets {
+		s.sets[i] = s.sets[i][:0]
+	}
+	s.stats = Stats{}
+}
+
+// Access references the line containing byte address addr, updating LRU
+// state and statistics. It reports whether the access hit.
+func (s *Sim) Access(addr int64) bool {
+	lineAddr := addr / int64(s.cfg.LineBytes)
+	setIdx := int(lineAddr % int64(s.cfg.NumSets()))
+	set := s.sets[setIdx]
+	s.stats.Refs++
+	for i, tag := range set {
+		if tag == lineAddr {
+			// Hit: move to MRU position.
+			copy(set[1:i+1], set[:i])
+			set[0] = lineAddr
+			return true
+		}
+	}
+	// Miss: insert at MRU, evicting LRU if the set is full.
+	s.stats.Misses++
+	if len(set) < s.cfg.Assoc {
+		set = append(set, 0)
+	}
+	copy(set[1:], set[:len(set)-1])
+	set[0] = lineAddr
+	s.sets[setIdx] = set
+	return false
+}
+
+// Stats returns the accumulated statistics.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// RunTrace replays tr (placed by layout) through a fresh simulation and
+// returns the resulting statistics. The layout supplies each procedure's
+// starting byte address; each activation fetches, in order, every cache
+// line covering its executed extent exactly once per repeat — the
+// reference stream a sequential instruction fetch would produce,
+// independent of how the procedure happens to be aligned.
+func RunTrace(cfg Config, layout *program.Layout, tr *trace.Trace) (Stats, error) {
+	sim, err := NewSim(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	prog := layout.Program()
+	lb := int64(cfg.LineBytes)
+	for _, e := range tr.Events {
+		base := int64(layout.Addr(e.Proc))
+		ext := int64(e.ExtentBytes(prog))
+		first := base / lb
+		last := (base + ext - 1) / lb
+		for r := e.Repeats(); r > 0; r-- {
+			for ln := first; ln <= last; ln++ {
+				sim.Access(ln * lb)
+			}
+		}
+	}
+	return sim.Stats(), nil
+}
+
+// MissRate is a convenience wrapper around RunTrace returning only the miss
+// rate.
+func MissRate(cfg Config, layout *program.Layout, tr *trace.Trace) (float64, error) {
+	st, err := RunTrace(cfg, layout, tr)
+	if err != nil {
+		return 0, err
+	}
+	return st.MissRate(), nil
+}

@@ -1,0 +1,149 @@
+package cache
+
+import (
+	"sort"
+
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// MissClass categorizes a cache miss.
+type MissClass int
+
+// The three C's of cache-miss classification.
+const (
+	// MissCold is the first reference ever to a line (compulsory).
+	MissCold MissClass = iota
+	// MissCapacity would miss even in a fully-associative LRU cache of
+	// the same capacity: the working set simply does not fit.
+	MissCapacity
+	// MissConflict hits in the fully-associative cache but misses in the
+	// simulated one: an artifact of the address mapping, i.e. exactly the
+	// class of misses code placement can remove.
+	MissConflict
+)
+
+// String returns the conventional name of the class.
+func (c MissClass) String() string {
+	switch c {
+	case MissCold:
+		return "cold"
+	case MissCapacity:
+		return "capacity"
+	case MissConflict:
+		return "conflict"
+	}
+	return "unknown"
+}
+
+// ClassifiedStats extends Stats with a miss breakdown and per-procedure
+// attribution.
+type ClassifiedStats struct {
+	Stats
+	// Cold, Capacity and Conflict partition Stats.Misses.
+	Cold, Capacity, Conflict int64
+	// PerProc[p] counts the misses suffered while fetching procedure p.
+	PerProc []int64
+}
+
+// fullyAssoc is an LRU stack simulating a fully-associative cache of
+// capacity lines; used as the classification oracle.
+type fullyAssoc struct {
+	capacity int
+	pos      map[int64]int // line address → index in stack
+	stack    []int64       // MRU first
+}
+
+func newFullyAssoc(capacity int) *fullyAssoc {
+	return &fullyAssoc{capacity: capacity, pos: make(map[int64]int)}
+}
+
+// access returns whether the line hit, updating LRU state.
+func (f *fullyAssoc) access(lineAddr int64) bool {
+	if idx, ok := f.pos[lineAddr]; ok {
+		// Move to front.
+		copy(f.stack[1:idx+1], f.stack[:idx])
+		f.stack[0] = lineAddr
+		for i := 0; i <= idx; i++ {
+			f.pos[f.stack[i]] = i
+		}
+		return true
+	}
+	if len(f.stack) < f.capacity {
+		f.stack = append(f.stack, 0)
+	} else {
+		delete(f.pos, f.stack[len(f.stack)-1])
+	}
+	copy(f.stack[1:], f.stack[:len(f.stack)-1])
+	f.stack[0] = lineAddr
+	for i := range f.stack {
+		f.pos[f.stack[i]] = i
+	}
+	return false
+}
+
+// RunTraceClassified replays tr like RunTrace but additionally classifies
+// every miss as cold, capacity, or conflict and attributes misses to the
+// procedure being fetched. It is slower than RunTrace (it runs a
+// fully-associative shadow cache); use it for analysis, not for the
+// randomized-placement sweeps.
+func RunTraceClassified(cfg Config, layout *program.Layout, tr *trace.Trace) (ClassifiedStats, error) {
+	sim, err := NewSim(cfg)
+	if err != nil {
+		return ClassifiedStats{}, err
+	}
+	prog := layout.Program()
+	cs := ClassifiedStats{PerProc: make([]int64, prog.NumProcs())}
+	shadow := newFullyAssoc(cfg.NumLines())
+	seen := make(map[int64]bool)
+
+	lb := int64(cfg.LineBytes)
+	for _, e := range tr.Events {
+		base := int64(layout.Addr(e.Proc))
+		ext := int64(e.ExtentBytes(prog))
+		first := base / lb
+		last := (base + ext - 1) / lb
+		for r := e.Repeats(); r > 0; r-- {
+			for ln := first; ln <= last; ln++ {
+				faHit := shadow.access(ln)
+				hit := sim.Access(ln * lb)
+				if hit {
+					continue
+				}
+				cs.PerProc[e.Proc]++
+				switch {
+				case !seen[ln]:
+					cs.Cold++
+					seen[ln] = true
+				case faHit:
+					cs.Conflict++
+				default:
+					cs.Capacity++
+				}
+			}
+		}
+	}
+	cs.Stats = sim.Stats()
+	return cs, nil
+}
+
+// TopMissProcs returns the n procedures with the most attributed misses,
+// most first.
+func (cs *ClassifiedStats) TopMissProcs(n int) []program.ProcID {
+	ids := make([]program.ProcID, 0, len(cs.PerProc))
+	for p, m := range cs.PerProc {
+		if m > 0 {
+			ids = append(ids, program.ProcID(p))
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if cs.PerProc[ids[i]] != cs.PerProc[ids[j]] {
+			return cs.PerProc[ids[i]] > cs.PerProc[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	if len(ids) > n {
+		ids = ids[:n]
+	}
+	return ids
+}

@@ -1,0 +1,53 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// TLBConfig describes an instruction TLB: a fully-associative LRU array of
+// page translations, the common organization for first-level iTLBs.
+type TLBConfig struct {
+	// Entries is the number of translations held. Default-free; must be
+	// positive.
+	Entries int
+	// PageBytes is the page size. Must be positive.
+	PageBytes int
+}
+
+// Validate checks the configuration.
+func (c TLBConfig) Validate() error {
+	if c.Entries <= 0 || c.PageBytes <= 0 {
+		return fmt.Errorf("cache: non-positive TLB config %+v", c)
+	}
+	return nil
+}
+
+// RunTraceTLB replays the trace through an iTLB simulation: every page the
+// executed extent of an activation touches is referenced in order. The
+// paper's conclusion points at "other layers of the memory hierarchy" as
+// the follow-on for temporal-ordering placement; the iTLB is the nearest
+// such layer, and layouts that keep temporally related procedures on the
+// same pages (see place.LinearizePageAware) reduce exactly these misses.
+func RunTraceTLB(cfg TLBConfig, layout *program.Layout, tr *trace.Trace) (Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, err
+	}
+	prog := layout.Program()
+	tlb := newFullyAssoc(cfg.Entries)
+	var st Stats
+	pb := cfg.PageBytes
+	for _, e := range tr.Events {
+		start := layout.Addr(e.Proc)
+		end := start + e.ExtentBytes(prog) - 1
+		for pg := start / pb; pg <= end/pb; pg++ {
+			st.Refs++
+			if !tlb.access(int64(pg)) {
+				st.Misses++
+			}
+		}
+	}
+	return st, nil
+}

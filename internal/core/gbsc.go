@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/graph"
+	"repro/internal/place"
+	"repro/internal/popular"
+	"repro/internal/program"
+	"repro/internal/trg"
+)
+
+// Place runs the GBSC procedure-placement algorithm for a direct-mapped
+// cache:
+//
+//  1. Copy TRG_select into a working graph whose nodes carry sets of
+//     (procedure, cache-line offset) tuples.
+//  2. Repeatedly take the heaviest edge, find the best relative alignment
+//     of the two node layouts via the TRG_place conflict metric (Figure 4),
+//     and merge, until no edges remain (Section 4.1–4.2).
+//  3. Produce the final linear layout by the smallest-positive-gap rule,
+//     filling gaps with unpopular procedures (Section 4.3).
+//
+// res must come from trg.Build (or trg.BuildPairs) over the same program
+// with the same popular set.
+func Place(prog *program.Program, res *trg.Result, pop *popular.Set, cfg cache.Config) (*program.Layout, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	period := cfg.NumLines()
+	align := func(n1, n2 *node) int {
+		off, _ := bestAlignment(n1, n2, res.Place, res.Chunker, prog, cfg.LineBytes, period)
+		return off
+	}
+	return placeCommon(prog, res, pop, cfg, period, align)
+}
+
+// PlaceAssoc runs the Section 6 set-associative variant: alignment costs
+// come from the pair database D rather than pairwise TRG_place weights, and
+// alignments are resolved at set granularity. For Assoc == 1 it reduces to
+// behaviour equivalent in spirit to Place (a single intervening block
+// suffices to evict), but Place should be preferred for direct-mapped
+// targets.
+func PlaceAssoc(prog *program.Program, res *trg.Result, db *trg.PairDB, pop *popular.Set, cfg cache.Config) (*program.Layout, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Assoc < 2 {
+		return nil, fmt.Errorf("core: PlaceAssoc requires associativity >= 2, got %d", cfg.Assoc)
+	}
+	if db == nil {
+		return nil, fmt.Errorf("core: PlaceAssoc requires a pair database; use trg.BuildPairs")
+	}
+	period := cfg.NumSets()
+	align := func(n1, n2 *node) int {
+		off, _ := bestAlignmentAssoc(n1, n2, db, res.Chunker, prog, cfg.LineBytes, period)
+		return off
+	}
+	return placeCommon(prog, res, pop, cfg, period, align)
+}
+
+// Assign runs the GBSC merging phase only, returning the cache-relative
+// placement tuples for the popular procedures without producing a linear
+// layout. Figure 6's methodology perturbs these offsets directly.
+func Assign(prog *program.Program, res *trg.Result, pop *popular.Set, cfg cache.Config) ([]place.Placed, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	period := cfg.NumLines()
+	align := func(n1, n2 *node) int {
+		off, _ := bestAlignment(n1, n2, res.Place, res.Chunker, prog, cfg.LineBytes, period)
+		return off
+	}
+	return assign(prog, res, pop, period, align)
+}
+
+// Linearize produces the final layout from (possibly modified) placement
+// tuples, using the Section 4.3 pipeline with the given popular set.
+func Linearize(prog *program.Program, items []place.Placed, pop *popular.Set, cfg cache.Config) (*program.Layout, error) {
+	if pop == nil {
+		pop = popular.All(prog)
+	}
+	return place.Linearize(prog, items, pop.Unpopular(prog), cfg, cfg.NumLines())
+}
+
+// PlacePageAware is Place with the page-locality linearization the paper's
+// Section 4.3 suggests: every procedure keeps exactly the cache-relative
+// alignment the merge phase chose (the instruction-cache behaviour is
+// preserved), but smallest-gap ties in the final ordering are broken by
+// temporal affinity so procedures that run together share pages.
+func PlacePageAware(prog *program.Program, res *trg.Result, pop *popular.Set, cfg cache.Config) (*program.Layout, error) {
+	items, err := Assign(prog, res, pop, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if pop == nil {
+		pop = popular.All(prog)
+	}
+	return place.LinearizePageAware(prog, items, pop.Unpopular(prog), cfg, cfg.NumLines(), res.Select, 4)
+}
+
+func placeCommon(prog *program.Program, res *trg.Result, pop *popular.Set, cfg cache.Config, period int, align func(n1, n2 *node) int) (*program.Layout, error) {
+	if pop == nil {
+		pop = popular.All(prog)
+	}
+	items, err := assign(prog, res, pop, period, align)
+	if err != nil {
+		return nil, err
+	}
+	return place.Linearize(prog, items, pop.Unpopular(prog), cfg, period)
+}
+
+func assign(prog *program.Program, res *trg.Result, pop *popular.Set, period int, align func(n1, n2 *node) int) ([]place.Placed, error) {
+	if pop == nil {
+		pop = popular.All(prog)
+	}
+
+	// Working graph: a copy of TRG_select (Section 2 / Section 4.1).
+	working := res.Select.Clone()
+	nodes := make(map[graph.NodeID]*node)
+	for _, p := range pop.IDs {
+		working.AddNode(graph.NodeID(p)) // popular but edgeless procedures still get placed
+		nodes[graph.NodeID(p)] = newNode(p)
+	}
+	for _, id := range working.Nodes() {
+		if _, ok := nodes[id]; !ok {
+			// A TRG_select node that the popularity mask does not cover
+			// indicates mismatched inputs.
+			return nil, fmt.Errorf("core: TRG_select contains procedure %d outside the popular set", id)
+		}
+	}
+
+	// Greedy merging until no edges remain.
+	for {
+		e, ok := working.HeaviestEdge()
+		if !ok {
+			break
+		}
+		n1, n2 := nodes[e.U], nodes[e.V]
+		off := align(n1, n2)
+		n2.shift(off, period)
+		n1.absorb(n2)
+		working.MergeNodes(e.U, e.V)
+		delete(nodes, e.V)
+	}
+
+	// Gather the surviving nodes' tuples. TRG_select "is not necessarily
+	// reduced to a single node" (Section 4.3); every node's internal
+	// alignment is preserved in the final list.
+	var items []place.Placed
+	for _, id := range working.Nodes() {
+		items = append(items, nodes[id].procs...)
+	}
+	return items, nil
+}

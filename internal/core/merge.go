@@ -1,0 +1,113 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/program"
+	"repro/internal/trg"
+)
+
+// bestAlignment implements the offset search of merge_nodes (Figure 4): it
+// evaluates every cache-relative offset of n2 with respect to n1 and returns
+// the offset with the lowest conflict metric, taking the first of equal-cost
+// offsets. The metric for offset i is
+//
+//	Σ_j Σ_{p1 ∈ c1[(j+i) mod C]} Σ_{p2 ∈ c2[j]} W_place(p1, p2)
+//
+// which we compute in a single pass over line pairs: the pair of occupied
+// lines (l1, l2) contributes its chunk-pair weight to cost[(l1-l2) mod C].
+func bestAlignment(n1, n2 *node, placeG *graph.Graph, chunker *program.Chunker, prog *program.Program, lineBytes, period int) (offset int, cost int64) {
+	c1 := occupancy(n1, chunker, prog, lineBytes, period)
+	c2 := occupancy(n2, chunker, prog, lineBytes, period)
+
+	costs := make([]int64, period)
+	for l1 := 0; l1 < period; l1++ {
+		if len(c1[l1]) == 0 {
+			continue
+		}
+		for l2 := 0; l2 < period; l2++ {
+			if len(c2[l2]) == 0 {
+				continue
+			}
+			var w int64
+			for _, p1 := range c1[l1] {
+				for _, p2 := range c2[l2] {
+					w += placeG.Weight(graph.NodeID(p1), graph.NodeID(p2))
+				}
+			}
+			if w != 0 {
+				costs[mod(l1-l2, period)] += w
+			}
+		}
+	}
+
+	best, bestCost := 0, costs[0]
+	for i := 1; i < period; i++ {
+		if costs[i] < bestCost {
+			best, bestCost = i, costs[i]
+		}
+	}
+	return best, bestCost
+}
+
+// bestAlignmentAssoc is the Section 6 variant of the offset search for
+// k-way set-associative caches with k=2: the cost of an alignment charges
+// D(p,{r,s}) whenever p, r and s fall into the same set with the pair {r,s}
+// containing at least one block from the node opposite p — pairs entirely
+// within p's own node are intra-node conflicts that the alignment cannot
+// change (Section 4.2's "calculated only for procedure-piece conflicts
+// between nodes").
+//
+// period here is the number of sets, and offsets are in units of sets (for
+// power-of-two caches a shift by one line shifts the set index by one, so
+// line offsets and set offsets coincide modulo the set count).
+func bestAlignmentAssoc(n1, n2 *node, db *trg.PairDB, chunker *program.Chunker, prog *program.Program, lineBytes, period int) (offset int, cost int64) {
+	c1 := occupancy(n1, chunker, prog, lineBytes, period)
+	c2 := occupancy(n2, chunker, prog, lineBytes, period)
+
+	costs := make([]int64, period)
+	for i := 0; i < period; i++ {
+		var total int64
+		for j := 0; j < period; j++ {
+			a := c1[mod(j+i, period)]
+			b := c2[j]
+			if len(a) == 0 || len(b) == 0 {
+				continue
+			}
+			total += assocSetCost(a, b, db)
+			total += assocSetCost(b, a, db)
+		}
+		costs[i] = total
+	}
+
+	best, bestCost := 0, costs[0]
+	for i := 1; i < period; i++ {
+		if costs[i] < bestCost {
+			best, bestCost = i, costs[i]
+		}
+	}
+	return best, bestCost
+}
+
+// assocSetCost sums, for every block p in own, the D(p,{r,s}) counts over
+// pairs {r,s} drawn from own∪other with at least one member in other.
+func assocSetCost(own, other []program.ChunkID, db *trg.PairDB) int64 {
+	var total int64
+	for _, p := range own {
+		// Pairs with both members in other.
+		for i := 0; i < len(other); i++ {
+			for j := i + 1; j < len(other); j++ {
+				total += db.Count(trg.BlockID(p), trg.BlockID(other[i]), trg.BlockID(other[j]))
+			}
+		}
+		// Mixed pairs: one member from own (not p itself), one from other.
+		for _, r := range own {
+			if r == p {
+				continue
+			}
+			for _, s := range other {
+				total += db.Count(trg.BlockID(p), trg.BlockID(r), trg.BlockID(s))
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,98 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 5) plus the Section 6 set-associative extension and
+// the ablations called out in DESIGN.md. Each experiment is a function
+// returning a typed result with a Render method that prints the same rows
+// or series the paper reports.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/graph"
+	"repro/internal/popular"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+	"repro/internal/trg"
+	"repro/internal/wcg"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale multiplies the suite trace lengths (see tracegen.Suite).
+	// Default 1.0; the checked-in EXPERIMENTS.md was produced at 1.0.
+	Scale float64
+	// Cache is the simulated instruction cache. Default 8 KB direct-mapped
+	// with 32-byte lines, as in the paper.
+	Cache cache.Config
+	// Runs is the number of perturbed profiles per algorithm in Figure 5.
+	// Default 40, as in the paper.
+	Runs int
+	// Seed drives perturbation and Figure 6 randomization. Default 1.
+	Seed int64
+	// Benchmarks restricts the suite by name; empty means all six.
+	Benchmarks []string
+}
+
+func (o *Options) setDefaults() {
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Cache == (cache.Config{}) {
+		o.Cache = cache.PaperConfig
+	}
+	if o.Runs == 0 {
+		o.Runs = 40
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+func (o *Options) suite() []*tracegen.Pair {
+	pairs := tracegen.Suite(o.Scale)
+	if len(o.Benchmarks) == 0 {
+		return pairs
+	}
+	var out []*tracegen.Pair
+	for _, name := range o.Benchmarks {
+		if p := tracegen.Lookup(pairs, name); p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// bench is the fully prepared per-benchmark state shared by experiments.
+type bench struct {
+	pair  *tracegen.Pair
+	train *trace.Trace
+	test  *trace.Trace
+	pop   *popular.Set
+	// wcgFull is the transition graph over all executed procedures (PH's
+	// input); wcgPop is restricted to popular procedures (HKC's input).
+	wcgFull *graph.Graph
+	wcgPop  *graph.Graph
+	// trgRes holds TRG_select and TRG_place built from the training trace.
+	trgRes *trg.Result
+}
+
+func prepare(pair *tracegen.Pair, cfg cache.Config) (*bench, error) {
+	b := &bench{pair: pair}
+	b.train = pair.Bench.Trace(pair.Train)
+	b.test = pair.Bench.Trace(pair.Test)
+	b.pop = popular.Select(pair.Bench.Prog, b.train, popular.Options{})
+	b.wcgFull = wcg.Build(b.train)
+	b.wcgPop = wcg.BuildFiltered(b.train, b.pop.Contains)
+	var err error
+	b.trgRes, err = trg.Build(pair.Bench.Prog, b.train, trg.Options{
+		CacheBytes: cfg.SizeBytes,
+		Popular:    b.pop,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building TRG for %s: %w", pair.Bench.Name, err)
+	}
+	return b, nil
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }

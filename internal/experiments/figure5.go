@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/baseline"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/perturb"
+	"repro/internal/program"
+	"repro/internal/trg"
+)
+
+// AlgorithmName identifies one of the compared placement algorithms.
+type AlgorithmName string
+
+// The three algorithms of the paper's comparison.
+const (
+	AlgPH   AlgorithmName = "PH"
+	AlgHKC  AlgorithmName = "HKC"
+	AlgGBSC AlgorithmName = "GBSC"
+)
+
+// Figure5Bench holds one benchmark's panel of Figure 5: for each algorithm,
+// the sorted miss rates of Runs perturbed placements (the CDF points) plus
+// the miss rate without perturbation (the MR inset table).
+type Figure5Bench struct {
+	Name string
+	// Sorted[alg] lists the Runs miss rates in ascending order; plotting
+	// (Sorted[alg][i], (i+1)/Runs) reproduces the paper's panels.
+	Sorted map[AlgorithmName][]float64
+	// Unperturbed[alg] is the miss rate of the placement computed from the
+	// unmodified profile.
+	Unperturbed map[AlgorithmName]float64
+}
+
+// Figure5Result aggregates all panels.
+type Figure5Result struct {
+	Runs    int
+	Scale   float64
+	Benches []Figure5Bench
+}
+
+// Figure5 regenerates the paper's Figure 5: the distribution of
+// instruction-cache miss rates under randomized profiles for PH, HKC and
+// GBSC on each benchmark.
+func Figure5(opts Options) (*Figure5Result, error) {
+	opts.setDefaults()
+	out := &Figure5Result{Runs: opts.Runs, Scale: opts.Scale}
+	for _, pair := range opts.suite() {
+		b, err := prepare(pair, opts.Cache)
+		if err != nil {
+			return nil, err
+		}
+		fb := Figure5Bench{
+			Name:        pair.Bench.Name,
+			Sorted:      map[AlgorithmName][]float64{},
+			Unperturbed: map[AlgorithmName]float64{},
+		}
+		for _, alg := range []AlgorithmName{AlgPH, AlgHKC, AlgGBSC} {
+			mr, err := runAlgorithm(alg, b, opts.Cache, nil)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s unperturbed: %w", pair.Bench.Name, alg, err)
+			}
+			fb.Unperturbed[alg] = mr
+			rates := make([]float64, 0, opts.Runs)
+			for run := 0; run < opts.Runs; run++ {
+				rng := rand.New(rand.NewSource(opts.Seed + int64(run)*7919))
+				mr, err := runAlgorithm(alg, b, opts.Cache, rng)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s run %d: %w", pair.Bench.Name, alg, run, err)
+				}
+				rates = append(rates, mr)
+			}
+			sort.Float64s(rates)
+			fb.Sorted[alg] = rates
+		}
+		out.Benches = append(out.Benches, fb)
+	}
+	return out, nil
+}
+
+// runAlgorithm computes a placement with optionally perturbed profile data
+// (rng nil = unperturbed) and returns its miss rate on the testing trace.
+func runAlgorithm(alg AlgorithmName, b *bench, cfg cache.Config, rng *rand.Rand) (float64, error) {
+	maybePerturb := func(g *graph.Graph) *graph.Graph {
+		if rng == nil {
+			return g
+		}
+		return perturb.Graph(g, perturb.DefaultScale, rng)
+	}
+	prog := b.pair.Bench.Prog
+	var layout *program.Layout
+	var err error
+	switch alg {
+	case AlgPH:
+		layout, err = baseline.PHLayout(prog, maybePerturb(b.wcgFull))
+	case AlgHKC:
+		layout, err = baseline.HKC(prog, maybePerturb(b.wcgPop), b.pop, cfg)
+	case AlgGBSC:
+		res := &trg.Result{
+			Select:    maybePerturb(b.trgRes.Select),
+			Place:     maybePerturb(b.trgRes.Place),
+			Chunker:   b.trgRes.Chunker,
+			AvgQProcs: b.trgRes.AvgQProcs,
+		}
+		layout, err = core.Place(prog, res, b.pop, cfg)
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", alg)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return cache.MissRate(cfg, layout, b.test)
+}
+
+// Render prints, per benchmark, the unperturbed MR table and distribution
+// quantiles for each algorithm.
+func (r *Figure5Result) Render(w io.Writer) error {
+	for _, fb := range r.Benches {
+		fmt.Fprintf(w, "== %s (%d perturbed runs, s=%.2f) ==\n", fb.Name, r.Runs, perturb.DefaultScale)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "alg\tMR (no random)\tmin\tp25\tmedian\tp75\tmax")
+		for _, alg := range []AlgorithmName{AlgPH, AlgHKC, AlgGBSC} {
+			s := fb.Sorted[alg]
+			q := func(f float64) float64 {
+				idx := int(f * float64(len(s)-1))
+				return s[idx]
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+				alg, pct(fb.Unperturbed[alg]),
+				pct(s[0]), pct(q(0.25)), pct(q(0.5)), pct(q(0.75)), pct(s[len(s)-1]))
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CDF returns the plottable series for one benchmark and algorithm: pairs
+// of (miss rate, fraction of placements with an equal or smaller rate),
+// exactly the axes of Figure 5.
+func (fb *Figure5Bench) CDF(alg AlgorithmName) [][2]float64 {
+	s := fb.Sorted[alg]
+	out := make([][2]float64, len(s))
+	for i, mr := range s {
+		out[i] = [2]float64{mr, float64(i+1) / float64(len(s))}
+	}
+	return out
+}
+
+// WriteCSV emits every panel's CDF points as long-form CSV
+// (benchmark,alg,missrate,fraction), ready for any plotting tool.
+func (r *Figure5Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "benchmark,alg,missrate,fraction"); err != nil {
+		return err
+	}
+	for _, fb := range r.Benches {
+		for _, alg := range []AlgorithmName{AlgPH, AlgHKC, AlgGBSC} {
+			for _, pt := range fb.CDF(alg) {
+				if _, err := fmt.Fprintf(w, "%s,%s,%.6f,%.4f\n", fb.Name, alg, pt[0], pt[1]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

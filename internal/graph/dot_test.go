@@ -1,0 +1,48 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := New()
+	g.AddEdgeWeight(1, 2, 50)
+	g.AddEdgeWeight(2, 3, 5)
+	g.AddNode(9) // isolated
+
+	var buf bytes.Buffer
+	err := g.WriteDOT(&buf, "trg", func(n NodeID) string {
+		return map[NodeID]string{1: "main", 2: "parse", 3: "eval", 9: "cold"}[n]
+	}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`graph "trg" {`,
+		`"main" -- "parse" [label="50"]`,
+		`"cold";`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The 5-weight edge is below minWeight.
+	if strings.Contains(out, `"eval" --`) || strings.Contains(out, `-- "eval"`) {
+		t.Errorf("filtered edge present:\n%s", out)
+	}
+}
+
+func TestWriteDOTDefaultLabels(t *testing.T) {
+	g := New()
+	g.AddEdgeWeight(4, 7, 3)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, "g", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"n4" -- "n7"`) {
+		t.Errorf("default labels missing:\n%s", buf.String())
+	}
+}

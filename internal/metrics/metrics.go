@@ -1,0 +1,161 @@
+// Package metrics evaluates conflict metrics over whole placements and
+// provides the correlation statistics of the paper's Figure 6, which
+// compares how well a TRG_place-based metric and a WCG-based metric predict
+// actual cache misses.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/graph"
+	"repro/internal/program"
+)
+
+// TRGConflict computes the fine-grained conflict metric of a layout: for
+// every pair of chunks mapped to the same cache line, the TRG_place edge
+// weight between them, summed over all lines. This is the quantity
+// merge_nodes minimizes pairwise and the Y-axis of Figure 6 (top).
+func TRGConflict(layout *program.Layout, placeG *graph.Graph, chunker *program.Chunker, cfg cache.Config) int64 {
+	prog := layout.Program()
+	period := cfg.NumLines()
+	lb := cfg.LineBytes
+
+	occ := make([][]program.ChunkID, period)
+	for p := 0; p < prog.NumProcs(); p++ {
+		id := program.ProcID(p)
+		start := layout.Addr(id) / lb
+		lines := program.CeilDiv(layout.Addr(id)%lb+prog.Size(id), lb)
+		for i := 0; i < lines; i++ {
+			line := (start + i) % period
+			// Byte offset within the procedure of the first byte that this
+			// cache line holds.
+			off := i*lb - layout.Addr(id)%lb
+			if off < 0 {
+				off = 0
+			}
+			if off >= prog.Size(id) {
+				off = prog.Size(id) - 1
+			}
+			occ[line] = append(occ[line], chunker.ChunkAtOffset(id, off))
+		}
+	}
+
+	var total int64
+	for _, chunks := range occ {
+		for i := 0; i < len(chunks); i++ {
+			for j := i + 1; j < len(chunks); j++ {
+				total += placeG.Weight(graph.NodeID(chunks[i]), graph.NodeID(chunks[j]))
+			}
+		}
+	}
+	return total
+}
+
+// WCGConflict computes the coarse metric of Figure 6 (bottom): for every
+// pair of procedures that overlap anywhere in the cache, the WCG edge
+// weight between them.
+func WCGConflict(layout *program.Layout, wcgG *graph.Graph, cfg cache.Config) int64 {
+	prog := layout.Program()
+	period := cfg.NumLines()
+	lb := cfg.LineBytes
+
+	occ := make([][]program.ProcID, period)
+	for p := 0; p < prog.NumProcs(); p++ {
+		id := program.ProcID(p)
+		start := layout.Addr(id) / lb
+		lines := program.CeilDiv(layout.Addr(id)%lb+prog.Size(id), lb)
+		if lines > period {
+			lines = period
+		}
+		for i := 0; i < lines; i++ {
+			occ[(start+i)%period] = append(occ[(start+i)%period], id)
+		}
+	}
+
+	counted := make(map[[2]program.ProcID]bool)
+	var total int64
+	for _, procs := range occ {
+		for i := 0; i < len(procs); i++ {
+			for j := i + 1; j < len(procs); j++ {
+				a, b := procs[i], procs[j]
+				if a > b {
+					a, b = b, a
+				}
+				key := [2]program.ProcID{a, b}
+				if counted[key] {
+					continue
+				}
+				counted[key] = true
+				total += wcgG.Weight(graph.NodeID(a), graph.NodeID(b))
+			}
+		}
+	}
+	return total
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// samples; NaN when undefined (fewer than two points or zero variance).
+func Pearson(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return math.NaN()
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var cov, vx, vy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N              int
+	Min, Max, Mean float64
+	Median, StdDev float64
+}
+
+// Summarize computes descriptive statistics. The input is not modified.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	sorted := append([]float64(nil), xs...)
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		v += (x - s.Mean) * (x - s.Mean)
+	}
+	s.StdDev = math.Sqrt(v / float64(len(xs)))
+	sort.Float64s(sorted)
+	if n := len(sorted); n%2 == 1 {
+		s.Median = sorted[n/2]
+	} else {
+		s.Median = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	return s
+}

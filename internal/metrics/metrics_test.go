@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/program"
+	"repro/internal/trace"
+	"repro/internal/trg"
+	"repro/internal/wcg"
+)
+
+var cfg = cache.Config{SizeBytes: 128, LineBytes: 32, Assoc: 1} // 4 lines
+
+func TestTRGConflictCountsOverlappingChunks(t *testing.T) {
+	prog := program.MustNew([]program.Procedure{
+		{Name: "a", Size: 32},
+		{Name: "b", Size: 32},
+	})
+	tr := trace.MustFromNames(prog, "a", "b", "a", "b", "a")
+	res, err := trg.Build(prog, tr, trg.Options{CacheBytes: cfg.SizeBytes, ChunkSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a..a has b between (twice), b..b has a between (once): W(a,b) = 3.
+	overlapping := program.NewLayout(prog)
+	overlapping.SetAddr(0, 0)
+	overlapping.SetAddr(1, 128) // same line as a
+	if got := TRGConflict(overlapping, res.Place, res.Chunker, cfg); got != 3 {
+		t.Errorf("overlapping TRGConflict = %d, want 3", got)
+	}
+	disjoint := program.DefaultLayout(prog)
+	if got := TRGConflict(disjoint, res.Place, res.Chunker, cfg); got != 0 {
+		t.Errorf("disjoint TRGConflict = %d, want 0", got)
+	}
+}
+
+func TestWCGConflictCountsOverlappingProcs(t *testing.T) {
+	prog := program.MustNew([]program.Procedure{
+		{Name: "a", Size: 64}, // 2 lines
+		{Name: "b", Size: 64},
+	})
+	tr := trace.MustFromNames(prog, "a", "b", "a")
+	g := wcg.Build(tr)
+
+	full := program.NewLayout(prog)
+	full.SetAddr(0, 0)
+	full.SetAddr(1, 128) // both lines overlap
+	partial := program.NewLayout(prog)
+	partial.SetAddr(0, 0)
+	partial.SetAddr(1, 128+32) // one line overlaps
+	disjoint := program.DefaultLayout(prog)
+
+	// The metric counts each overlapping pair once regardless of overlap
+	// extent (WCGs have no notion of partial conflict).
+	if got := WCGConflict(full, g, cfg); got != 2 {
+		t.Errorf("full overlap = %d, want W(a,b)=2", got)
+	}
+	if got := WCGConflict(partial, g, cfg); got != 2 {
+		t.Errorf("partial overlap = %d, want 2", got)
+	}
+	if got := WCGConflict(disjoint, g, cfg); got != 0 {
+		t.Errorf("disjoint = %d, want 0", got)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ysPos := []float64{2, 4, 6, 8, 10}
+	ysNeg := []float64{10, 8, 6, 4, 2}
+	if r := Pearson(xs, ysPos); math.Abs(r-1) > 1e-12 {
+		t.Errorf("perfect positive r = %v", r)
+	}
+	if r := Pearson(xs, ysNeg); math.Abs(r+1) > 1e-12 {
+		t.Errorf("perfect negative r = %v", r)
+	}
+	if r := Pearson(xs, []float64{3, 3, 3, 3, 3}); !math.IsNaN(r) {
+		t.Errorf("zero-variance r = %v, want NaN", r)
+	}
+	if r := Pearson([]float64{1}, []float64{2}); !math.IsNaN(r) {
+		t.Errorf("single-point r = %v, want NaN", r)
+	}
+	if r := Pearson(xs, xs[:3]); !math.IsNaN(r) {
+		t.Errorf("length-mismatch r = %v, want NaN", r)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 || s.Median != 2.5 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	odd := Summarize([]float64{5, 1, 3})
+	if odd.Median != 3 {
+		t.Errorf("odd median = %v", odd.Median)
+	}
+	if e := Summarize(nil); e.N != 0 {
+		t.Errorf("empty summary = %+v", e)
+	}
+}
+
+// The TRG metric must correlate strongly with simulated misses; this is a
+// small-scale version of Figure 6's claim.
+func TestTRGMetricCorrelatesWithMisses(t *testing.T) {
+	prog := program.MustNew([]program.Procedure{
+		{Name: "a", Size: 32},
+		{Name: "b", Size: 32},
+		{Name: "c", Size: 32},
+		{Name: "d", Size: 32},
+	})
+	tr := &trace.Trace{}
+	for i := 0; i < 100; i++ {
+		for p := 0; p < 4; p++ {
+			tr.Append(trace.Event{Proc: program.ProcID(p)})
+		}
+	}
+	res, err := trg.Build(prog, tr, trg.Options{CacheBytes: cfg.SizeBytes, ChunkSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms, cs []float64
+	// Enumerate layouts with zero, one, or two overlapping *pairs*. (With
+	// three or more procedures on one line the pairwise metric grows
+	// quadratically while misses grow linearly — the Figure 6 methodology
+	// moves 0-50 procedures of a placed layout, which keeps overlaps mostly
+	// pairwise, and so does this test.)
+	for _, mask := range []int{0, 1, 2, 4, 5} {
+		l := program.NewLayout(prog)
+		addr := 0
+		for p := 0; p < 4; p++ {
+			l.SetAddr(program.ProcID(p), addr)
+			addr += 32
+			if p < 3 && mask&(1<<p) != 0 {
+				addr += 96 // push next proc a full cache period ahead
+			}
+		}
+		st, err := cache.RunTrace(cfg, l, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms = append(ms, float64(st.Misses))
+		cs = append(cs, float64(TRGConflict(l, res.Place, res.Chunker, cfg)))
+	}
+	if r := Pearson(cs, ms); math.IsNaN(r) || r < 0.9 {
+		t.Errorf("TRG metric correlation r = %v, want >= 0.9", r)
+	}
+}

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// PageStats summarizes the virtual-memory behaviour of a layout over a
+// trace: how many distinct text pages the execution touches and how often
+// control transfers cross a page boundary. The paper's Section 4.3 notes
+// that "the spatial and temporal locality of code pages is also an
+// important performance factor"; these statistics quantify it.
+type PageStats struct {
+	// PageBytes is the page size used.
+	PageBytes int
+	// UniquePages is the number of distinct text pages referenced.
+	UniquePages int
+	// Transitions counts activation boundaries where control moved to a
+	// different page than the previous activation ended on.
+	Transitions int64
+	// Activations is the number of trace events processed.
+	Activations int64
+	// WSSPages is the text working-set size in pages averaged over
+	// windows of wssWindow activations.
+	WSSPages float64
+}
+
+const wssWindow = 4096
+
+// Pages computes PageStats for the layout and trace at the given page size.
+func Pages(layout *program.Layout, tr *trace.Trace, pageBytes int) PageStats {
+	if pageBytes <= 0 {
+		pageBytes = 8192
+	}
+	prog := layout.Program()
+	ps := PageStats{PageBytes: pageBytes}
+
+	touched := make(map[int]bool)
+	var prevEndPage = -1
+
+	windowPages := make(map[int]bool)
+	var windowCount int64
+	var wssSum, wssWindows float64
+
+	for _, e := range tr.Events {
+		start := layout.Addr(e.Proc)
+		end := start + e.ExtentBytes(prog) - 1
+		startPage, endPage := start/pageBytes, end/pageBytes
+		for pg := startPage; pg <= endPage; pg++ {
+			touched[pg] = true
+			windowPages[pg] = true
+		}
+		if prevEndPage >= 0 && startPage != prevEndPage {
+			ps.Transitions++
+		}
+		prevEndPage = endPage
+		ps.Activations++
+
+		windowCount++
+		if windowCount == wssWindow {
+			wssSum += float64(len(windowPages))
+			wssWindows++
+			windowPages = make(map[int]bool)
+			windowCount = 0
+		}
+	}
+	ps.UniquePages = len(touched)
+	if wssWindows > 0 {
+		ps.WSSPages = wssSum / wssWindows
+	} else {
+		ps.WSSPages = float64(len(touched))
+	}
+	return ps
+}

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+func TestPagesCountsUniqueAndTransitions(t *testing.T) {
+	prog := program.MustNew([]program.Procedure{
+		{Name: "a", Size: 100},
+		{Name: "b", Size: 100},
+	})
+	l := program.NewLayout(prog)
+	l.SetAddr(0, 0)
+	l.SetAddr(1, 8192) // different 8K page
+	tr := trace.MustFromNames(prog, "a", "b", "a", "b")
+	ps := Pages(l, tr, 8192)
+	if ps.UniquePages != 2 {
+		t.Errorf("UniquePages = %d, want 2", ps.UniquePages)
+	}
+	// a→b, b→a, a→b: 3 transitions.
+	if ps.Transitions != 3 {
+		t.Errorf("Transitions = %d, want 3", ps.Transitions)
+	}
+	if ps.Activations != 4 {
+		t.Errorf("Activations = %d", ps.Activations)
+	}
+}
+
+func TestPagesSamePageNoTransitions(t *testing.T) {
+	prog := program.MustNew([]program.Procedure{
+		{Name: "a", Size: 100},
+		{Name: "b", Size: 100},
+	})
+	l := program.DefaultLayout(prog) // both within page 0
+	tr := trace.MustFromNames(prog, "a", "b", "a", "b")
+	ps := Pages(l, tr, 8192)
+	if ps.UniquePages != 1 || ps.Transitions != 0 {
+		t.Errorf("stats = %+v, want 1 page, 0 transitions", ps)
+	}
+}
+
+func TestPagesSpanningProcedure(t *testing.T) {
+	prog := program.MustNew([]program.Procedure{{Name: "big", Size: 20000}})
+	l := program.DefaultLayout(prog)
+	tr := trace.MustFromNames(prog, "big")
+	ps := Pages(l, tr, 8192)
+	// 20000 bytes from 0 spans pages 0,1,2.
+	if ps.UniquePages != 3 {
+		t.Errorf("UniquePages = %d, want 3", ps.UniquePages)
+	}
+}
+
+func TestPagesExtentRespected(t *testing.T) {
+	prog := program.MustNew([]program.Procedure{{Name: "big", Size: 20000}})
+	l := program.DefaultLayout(prog)
+	tr := &trace.Trace{Events: []trace.Event{{Proc: 0, Extent: 100}}}
+	ps := Pages(l, tr, 8192)
+	if ps.UniquePages != 1 {
+		t.Errorf("UniquePages = %d, want 1 (only the first page executes)", ps.UniquePages)
+	}
+}
+
+func TestPagesDefaultPageSize(t *testing.T) {
+	prog := program.MustNew([]program.Procedure{{Name: "a", Size: 10}})
+	l := program.DefaultLayout(prog)
+	tr := trace.MustFromNames(prog, "a")
+	ps := Pages(l, tr, 0)
+	if ps.PageBytes != 8192 {
+		t.Errorf("PageBytes = %d, want default 8192", ps.PageBytes)
+	}
+}

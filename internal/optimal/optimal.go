@@ -1,0 +1,94 @@
+// Package optimal finds the truly optimal procedure placement for small
+// programs by exhaustive search over cache-relative alignments. It exists
+// to quantify how close the greedy GBSC heuristic gets to the optimum —
+// the paper asserts "this greedy heuristic works quite well in practice"
+// (Section 4.2) without being able to measure the gap; at toy scale we can.
+package optimal
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/place"
+	"repro/internal/popular"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// MaxProcs bounds the exhaustive search: the space is lines^(procs-1)
+// simulations, each a full trace replay.
+const MaxProcs = 6
+
+// Result is the outcome of the search.
+type Result struct {
+	// Layout is an optimal layout (the first one found with minimal
+	// misses).
+	Layout *program.Layout
+	// Misses is the optimal miss count on the given trace.
+	Misses int64
+	// Evaluated is the number of alignments simulated.
+	Evaluated int64
+}
+
+// Search exhaustively tries every combination of cache-line offsets for
+// the program's procedures (the first procedure is pinned to line 0 —
+// rotations of a placement are equivalent) and returns a layout minimizing
+// the simulated miss count of tr. Programs must have at most MaxProcs
+// procedures and a modest line count; the cost is lines^(n-1) trace
+// simulations.
+func Search(prog *program.Program, tr *trace.Trace, cfg cache.Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Assoc != 1 {
+		return nil, fmt.Errorf("optimal: only direct-mapped caches supported")
+	}
+	n := prog.NumProcs()
+	if n == 0 {
+		return nil, fmt.Errorf("optimal: empty program")
+	}
+	if n > MaxProcs {
+		return nil, fmt.Errorf("optimal: %d procedures exceed the exhaustive bound %d", n, MaxProcs)
+	}
+	if err := tr.Validate(prog); err != nil {
+		return nil, err
+	}
+
+	lines := cfg.NumLines()
+	offsets := make([]int, n) // offsets[0] stays 0
+	res := &Result{Misses: int64(^uint64(0) >> 1)}
+
+	items := make([]place.Placed, n)
+	pop := popular.All(prog)
+	for {
+		for i := range items {
+			items[i] = place.Placed{Proc: program.ProcID(i), Line: offsets[i]}
+		}
+		layout, err := place.Linearize(prog, items, pop.Unpopular(prog), cfg, lines)
+		if err != nil {
+			return nil, err
+		}
+		st, err := cache.RunTrace(cfg, layout, tr)
+		if err != nil {
+			return nil, err
+		}
+		res.Evaluated++
+		if st.Misses < res.Misses {
+			res.Misses = st.Misses
+			res.Layout = layout
+		}
+
+		// Advance the odometer over offsets[1..n-1].
+		i := 1
+		for ; i < n; i++ {
+			offsets[i]++
+			if offsets[i] < lines {
+				break
+			}
+			offsets[i] = 0
+		}
+		if i == n {
+			return res, nil
+		}
+	}
+}

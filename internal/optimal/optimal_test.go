@@ -1,0 +1,104 @@
+package optimal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/program"
+	"repro/internal/trace"
+	"repro/internal/trg"
+)
+
+var tiny = cache.Config{SizeBytes: 128, LineBytes: 32, Assoc: 1} // 4 lines
+
+func TestSearchFindsZeroConflictLayout(t *testing.T) {
+	// Three single-line procedures in a 4-line cache: a conflict-free
+	// placement exists, so the optimum is pure cold misses.
+	prog := program.MustNew([]program.Procedure{
+		{Name: "a", Size: 32},
+		{Name: "b", Size: 32},
+		{Name: "c", Size: 32},
+	})
+	tr := &trace.Trace{}
+	for i := 0; i < 50; i++ {
+		for p := 0; p < 3; p++ {
+			tr.Append(trace.Event{Proc: program.ProcID(p)})
+		}
+	}
+	res, err := Search(prog, tr, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 3 {
+		t.Errorf("optimal misses = %d, want 3 (cold only)", res.Misses)
+	}
+	if res.Evaluated != 16 { // 4 lines ^ 2 free procedures
+		t.Errorf("Evaluated = %d, want 16", res.Evaluated)
+	}
+	if err := res.Layout.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSearchRejectsBigPrograms(t *testing.T) {
+	procs := make([]program.Procedure, MaxProcs+1)
+	for i := range procs {
+		procs[i] = program.Procedure{Name: string(rune('a' + i)), Size: 32}
+	}
+	prog := program.MustNew(procs)
+	tr := &trace.Trace{}
+	if _, err := Search(prog, tr, tiny); err == nil {
+		t.Error("Search accepted an oversized program")
+	}
+	if _, err := Search(program.MustNew(procs[:2]), tr, cache.Config{SizeBytes: 128, LineBytes: 32, Assoc: 2}); err == nil {
+		t.Error("Search accepted a set-associative cache")
+	}
+}
+
+// GBSC must be within a small factor of the true optimum on random tiny
+// workloads — the quantified version of "this greedy heuristic works quite
+// well in practice".
+func TestGBSCNearOptimalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(3) + 3 // 3..5 procedures
+		procs := make([]program.Procedure, n)
+		for i := range procs {
+			procs[i] = program.Procedure{
+				Name: string(rune('a' + i)),
+				Size: 32 * (rng.Intn(2) + 1), // 1-2 lines
+			}
+		}
+		prog := program.MustNew(procs)
+		tr := &trace.Trace{}
+		for i := 0; i < 400; i++ {
+			tr.Append(trace.Event{Proc: program.ProcID(rng.Intn(n))})
+		}
+
+		opt, err := Search(prog, tr, tiny)
+		if err != nil {
+			return false
+		}
+		res, err := trg.Build(prog, tr, trg.Options{CacheBytes: tiny.SizeBytes, ChunkSize: 32})
+		if err != nil {
+			return false
+		}
+		gl, err := core.Place(prog, res, nil, tiny)
+		if err != nil {
+			return false
+		}
+		st, err := cache.RunTrace(tiny, gl, tr)
+		if err != nil {
+			return false
+		}
+		// Within 1.8x of optimal plus slack for cold effects. Greedy can
+		// lose ties but should never be far off at this scale.
+		return float64(st.Misses) <= 1.8*float64(opt.Misses)+8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

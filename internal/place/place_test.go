@@ -1,0 +1,167 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/program"
+)
+
+var cfg = cache.Config{SizeBytes: 256, LineBytes: 32, Assoc: 1} // 8 lines
+
+func TestGapFormula(t *testing.T) {
+	// Section 4.3 semantics: gap 1 = q starts on the line right after p's
+	// last line; q starting on p's last line = full wrap (period).
+	cases := []struct {
+		qSL, pEL, want int
+	}{
+		{3, 2, 1}, // contiguous
+		{5, 2, 3}, // two empty lines
+		{2, 2, 8}, // overlap: worst gap
+		{0, 7, 1}, // contiguous across wraparound
+		{1, 6, 3}, // wraps: lines 7,0 empty
+	}
+	for _, c := range cases {
+		if got := gap(c.qSL, c.pEL, 8); got != c.want {
+			t.Errorf("gap(%d,%d) = %d, want %d", c.qSL, c.pEL, got, c.want)
+		}
+	}
+}
+
+func TestOrderBySmallestGap(t *testing.T) {
+	prog := program.MustNew([]program.Procedure{
+		{Name: "a", Size: 64}, // 2 lines
+		{Name: "b", Size: 32}, // 1 line
+		{Name: "c", Size: 96}, // 3 lines
+	})
+	// a at line 0 (ends line 1), c at line 2 (contiguous after a, ends 4),
+	// b at line 5 (contiguous after c).
+	items := []Placed{
+		{Proc: 1, Line: 5},
+		{Proc: 2, Line: 2},
+		{Proc: 0, Line: 0},
+	}
+	got := OrderBySmallestGap(prog, items, cfg, 8)
+	want := []program.ProcID{0, 2, 1}
+	for i := range want {
+		if got[i].Proc != want[i] {
+			t.Fatalf("order = %v, want procs %v", got, want)
+		}
+	}
+}
+
+func TestOrderPrefersSmallestStartOffset(t *testing.T) {
+	prog := program.MustNew([]program.Procedure{
+		{Name: "a", Size: 32},
+		{Name: "b", Size: 32},
+	})
+	items := []Placed{{Proc: 0, Line: 4}, {Proc: 1, Line: 1}}
+	got := OrderBySmallestGap(prog, items, cfg, 8)
+	if got[0].Proc != 1 {
+		t.Errorf("start = proc %d, want 1 (smallest line offset)", got[0].Proc)
+	}
+}
+
+func TestEmitAlignsToAssignedLines(t *testing.T) {
+	prog := program.MustNew([]program.Procedure{
+		{Name: "a", Size: 64},
+		{Name: "b", Size: 32},
+	})
+	ordered := []Placed{{Proc: 0, Line: 3}, {Proc: 1, Line: 7}}
+	l, err := Emit(prog, ordered, nil, cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.StartLine(0, 32, 8); got != 3 {
+		t.Errorf("a start line = %d, want 3", got)
+	}
+	if got := l.StartLine(1, 32, 8); got != 7 {
+		t.Errorf("b start line = %d, want 7", got)
+	}
+	if err := l.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmitFillsGapsWithUnpopular(t *testing.T) {
+	prog := program.MustNew([]program.Procedure{
+		{Name: "hotA", Size: 32},
+		{Name: "hotB", Size: 32},
+		{Name: "coldSmall", Size: 40},
+		{Name: "coldBig", Size: 4000},
+	})
+	// hotA at line 0; hotB at line 4 → gap of 3 lines (96 bytes) at
+	// [32,128). coldSmall (40B) fits; coldBig does not and is appended.
+	ordered := []Placed{{Proc: 0, Line: 0}, {Proc: 1, Line: 4}}
+	l, err := Emit(prog, ordered, []program.ProcID{2, 3}, cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a := l.Addr(2); a < 32 || a+40 > 128 {
+		t.Errorf("coldSmall at %d, want inside gap [32,128)", a)
+	}
+	if a := l.Addr(3); a < 128+32 {
+		t.Errorf("coldBig at %d, want appended after hotB", a)
+	}
+}
+
+func TestEmitRejectsIncompleteCoverage(t *testing.T) {
+	prog := program.MustNew([]program.Procedure{
+		{Name: "a", Size: 32},
+		{Name: "b", Size: 32},
+	})
+	if _, err := Emit(prog, []Placed{{Proc: 0, Line: 0}}, nil, cfg, 8); err == nil {
+		t.Error("Emit accepted layout missing procedure b")
+	}
+	if _, err := Emit(prog, []Placed{{Proc: 0, Line: 0}, {Proc: 0, Line: 1}}, []program.ProcID{1}, cfg, 8); err == nil {
+		t.Error("Emit accepted duplicate placement")
+	}
+	if _, err := Emit(prog, []Placed{{Proc: 0, Line: 0}, {Proc: 1, Line: 0}}, []program.ProcID{1}, cfg, 8); err == nil {
+		t.Error("Emit accepted popular∩unpopular overlap")
+	}
+}
+
+// Property: Linearize over random assignments yields a valid layout where
+// every popular procedure starts at its assigned line (mod period).
+func TestLinearizeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(25) + 1
+		procs := make([]program.Procedure, n)
+		for i := range procs {
+			procs[i] = program.Procedure{Name: string(rune('a'+i%26)) + string(rune('0'+i/26)), Size: rng.Intn(600) + 1}
+		}
+		prog := program.MustNew(procs)
+		period := cfg.NumLines()
+		var items []Placed
+		var unpop []program.ProcID
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				unpop = append(unpop, program.ProcID(i))
+			} else {
+				items = append(items, Placed{Proc: program.ProcID(i), Line: rng.Intn(period)})
+			}
+		}
+		l, err := Linearize(prog, items, unpop, cfg, period)
+		if err != nil {
+			return false
+		}
+		if l.Validate() != nil {
+			return false
+		}
+		for _, it := range items {
+			if l.StartLine(it.Proc, cfg.LineBytes, period) != it.Line {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

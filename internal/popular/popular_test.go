@@ -1,0 +1,114 @@
+package popular
+
+import (
+	"testing"
+
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+func mkProg(t *testing.T, n int) *program.Program {
+	t.Helper()
+	procs := make([]program.Procedure, n)
+	for i := range procs {
+		procs[i] = program.Procedure{Name: string(rune('a' + i)), Size: 100 * (i + 1)}
+	}
+	return program.MustNew(procs)
+}
+
+func TestSelectByCoverage(t *testing.T) {
+	prog := mkProg(t, 3)
+	tr := &trace.Trace{}
+	// a: 90 activations, b: 9, c: 1.
+	for i := 0; i < 90; i++ {
+		tr.Append(trace.Event{Proc: 0})
+	}
+	for i := 0; i < 9; i++ {
+		tr.Append(trace.Event{Proc: 1})
+	}
+	tr.Append(trace.Event{Proc: 2})
+
+	s := Select(prog, tr, Options{Coverage: 0.9, MinCount: 1})
+	if !s.Contains(0) {
+		t.Error("a not popular")
+	}
+	if s.Contains(2) {
+		t.Error("c popular despite 1 activation and coverage met")
+	}
+	if s.Counts[0] != 90 || s.Counts[1] != 9 || s.Counts[2] != 1 {
+		t.Errorf("Counts = %v", s.Counts)
+	}
+}
+
+func TestSelectMinCount(t *testing.T) {
+	prog := mkProg(t, 2)
+	tr := &trace.Trace{}
+	tr.Append(trace.Event{Proc: 0})
+	tr.Append(trace.Event{Proc: 1})
+	s := Select(prog, tr, Options{Coverage: 1.0, MinCount: 2})
+	if s.Len() != 0 {
+		t.Errorf("popular set = %v, want empty (all counts below MinCount)", s.IDs)
+	}
+}
+
+func TestSelectMaxProcs(t *testing.T) {
+	prog := mkProg(t, 5)
+	tr := &trace.Trace{}
+	for p := 0; p < 5; p++ {
+		for i := 0; i < 10; i++ {
+			tr.Append(trace.Event{Proc: program.ProcID(p)})
+		}
+	}
+	s := Select(prog, tr, Options{Coverage: 1.0, MinCount: 1, MaxProcs: 2})
+	if s.Len() != 2 {
+		t.Errorf("popular count = %d, want 2", s.Len())
+	}
+}
+
+func TestSelectOrderedByCount(t *testing.T) {
+	prog := mkProg(t, 3)
+	tr := &trace.Trace{}
+	for i := 0; i < 5; i++ {
+		tr.Append(trace.Event{Proc: 2})
+	}
+	for i := 0; i < 10; i++ {
+		tr.Append(trace.Event{Proc: 0})
+	}
+	for i := 0; i < 7; i++ {
+		tr.Append(trace.Event{Proc: 1})
+	}
+	s := Select(prog, tr, Options{Coverage: 1.0, MinCount: 1})
+	if len(s.IDs) != 3 || s.IDs[0] != 0 || s.IDs[1] != 1 || s.IDs[2] != 2 {
+		t.Errorf("IDs = %v, want [0 1 2] by decreasing count", s.IDs)
+	}
+}
+
+func TestTotalSizeAndUnpopular(t *testing.T) {
+	prog := mkProg(t, 3) // sizes 100, 200, 300
+	tr := &trace.Trace{}
+	for i := 0; i < 10; i++ {
+		tr.Append(trace.Event{Proc: 0})
+		tr.Append(trace.Event{Proc: 2})
+	}
+	s := Select(prog, tr, Options{Coverage: 1.0, MinCount: 2})
+	if got := s.TotalSize(prog); got != 400 {
+		t.Errorf("TotalSize = %d, want 400", got)
+	}
+	unpop := s.Unpopular(prog)
+	if len(unpop) != 1 || unpop[0] != 1 {
+		t.Errorf("Unpopular = %v, want [1]", unpop)
+	}
+}
+
+func TestAll(t *testing.T) {
+	prog := mkProg(t, 4)
+	s := All(prog)
+	if s.Len() != 4 {
+		t.Errorf("All len = %d", s.Len())
+	}
+	for p := 0; p < 4; p++ {
+		if !s.Contains(program.ProcID(p)) {
+			t.Errorf("All does not contain %d", p)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package program
+
+import "fmt"
+
+// DefaultChunkSize is the chunk granularity the paper found to work well
+// for TRG_place (Section 4.1): 256 bytes.
+const DefaultChunkSize = 256
+
+// ChunkID identifies a fixed-size chunk of a procedure. Chunks are the code
+// blocks of TRG_place: "TRG_place thus contains ceil(sizeof p / chunksize)
+// nodes for each procedure p" (Section 4.1).
+//
+// ChunkIDs are dense across the whole program: procedure 0's chunks come
+// first, then procedure 1's, and so on, per a Chunker's fixed chunk size.
+type ChunkID int32
+
+// NoChunk is the sentinel for "no chunk".
+const NoChunk ChunkID = -1
+
+// Chunker maps between procedures and their chunks for a fixed chunk size.
+type Chunker struct {
+	prog      *Program
+	chunkSize int
+	// first[p] is the ChunkID of procedure p's first chunk; first[len(procs)]
+	// is the total chunk count.
+	first []ChunkID
+}
+
+// NewChunker builds the chunk numbering for prog at the given chunk size.
+func NewChunker(prog *Program, chunkSize int) (*Chunker, error) {
+	if chunkSize <= 0 {
+		return nil, fmt.Errorf("program: chunk size must be positive, got %d", chunkSize)
+	}
+	c := &Chunker{
+		prog:      prog,
+		chunkSize: chunkSize,
+		first:     make([]ChunkID, prog.NumProcs()+1),
+	}
+	var next ChunkID
+	for i, pr := range prog.Procs {
+		c.first[i] = next
+		next += ChunkID(CeilDiv(pr.Size, chunkSize))
+	}
+	c.first[prog.NumProcs()] = next
+	return c, nil
+}
+
+// MustNewChunker is NewChunker but panics on error.
+func MustNewChunker(prog *Program, chunkSize int) *Chunker {
+	c, err := NewChunker(prog, chunkSize)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ChunkSize returns the chunk granularity in bytes.
+func (c *Chunker) ChunkSize() int { return c.chunkSize }
+
+// NumChunks returns the total number of chunks in the program.
+func (c *Chunker) NumChunks() int { return int(c.first[len(c.first)-1]) }
+
+// NumProcChunks returns the number of chunks of procedure p.
+func (c *Chunker) NumProcChunks(p ProcID) int {
+	return int(c.first[p+1] - c.first[p])
+}
+
+// Chunk returns the ChunkID for chunk index idx (0-based) of procedure p.
+func (c *Chunker) Chunk(p ProcID, idx int) ChunkID {
+	if idx < 0 || idx >= c.NumProcChunks(p) {
+		panic(fmt.Sprintf("program: chunk index %d out of range for procedure %d (%d chunks)",
+			idx, p, c.NumProcChunks(p)))
+	}
+	return c.first[p] + ChunkID(idx)
+}
+
+// FirstChunk returns the ChunkID of procedure p's first chunk.
+func (c *Chunker) FirstChunk(p ProcID) ChunkID { return c.first[p] }
+
+// Owner returns the procedure that chunk id belongs to and the chunk's index
+// within that procedure.
+func (c *Chunker) Owner(id ChunkID) (ProcID, int) {
+	// Binary search over first[].
+	lo, hi := 0, len(c.first)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if c.first[mid] <= id {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return ProcID(lo), int(id - c.first[lo])
+}
+
+// ChunkBytes returns the size in bytes of the given chunk: chunkSize for all
+// chunks except possibly the procedure's last one.
+func (c *Chunker) ChunkBytes(id ChunkID) int {
+	p, idx := c.Owner(id)
+	size := c.prog.Size(p)
+	remaining := size - idx*c.chunkSize
+	if remaining > c.chunkSize {
+		return c.chunkSize
+	}
+	return remaining
+}
+
+// ChunkAtOffset returns the ChunkID covering byte offset off within
+// procedure p.
+func (c *Chunker) ChunkAtOffset(p ProcID, off int) ChunkID {
+	if off < 0 || off >= c.prog.Size(p) {
+		panic(fmt.Sprintf("program: offset %d out of range for procedure %d (size %d)",
+			off, p, c.prog.Size(p)))
+	}
+	return c.first[p] + ChunkID(off/c.chunkSize)
+}

@@ -1,0 +1,119 @@
+package program
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestChunkerNumbering(t *testing.T) {
+	// Sizes: 256→1 chunk, 257→2 chunks, 100→1 chunk, 1000→4 chunks.
+	p := MustNew(testProcs(256, 257, 100, 1000))
+	c := MustNewChunker(p, 256)
+	if got := c.NumChunks(); got != 8 {
+		t.Fatalf("NumChunks = %d, want 8", got)
+	}
+	wantCounts := []int{1, 2, 1, 4}
+	for i, w := range wantCounts {
+		if got := c.NumProcChunks(ProcID(i)); got != w {
+			t.Errorf("NumProcChunks(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if got := c.FirstChunk(3); got != 4 {
+		t.Errorf("FirstChunk(3) = %d, want 4", got)
+	}
+	if got := c.Chunk(3, 2); got != 6 {
+		t.Errorf("Chunk(3,2) = %d, want 6", got)
+	}
+}
+
+func TestChunkerOwnerRoundTrip(t *testing.T) {
+	p := MustNew(testProcs(256, 257, 100, 1000, 1, 511))
+	c := MustNewChunker(p, 256)
+	for id := ChunkID(0); int(id) < c.NumChunks(); id++ {
+		proc, idx := c.Owner(id)
+		if got := c.Chunk(proc, idx); got != id {
+			t.Errorf("Chunk(Owner(%d)) = %d", id, got)
+		}
+	}
+}
+
+func TestChunkBytes(t *testing.T) {
+	p := MustNew(testProcs(256, 257, 100))
+	c := MustNewChunker(p, 256)
+	cases := []struct {
+		id   ChunkID
+		want int
+	}{
+		{0, 256}, // proc A single full chunk
+		{1, 256}, // proc B chunk 0
+		{2, 1},   // proc B chunk 1 (tail byte)
+		{3, 100}, // proc C short chunk
+	}
+	for _, cse := range cases {
+		if got := c.ChunkBytes(cse.id); got != cse.want {
+			t.Errorf("ChunkBytes(%d) = %d, want %d", cse.id, got, cse.want)
+		}
+	}
+}
+
+func TestChunkAtOffset(t *testing.T) {
+	p := MustNew(testProcs(1000))
+	c := MustNewChunker(p, 256)
+	cases := []struct {
+		off  int
+		want ChunkID
+	}{{0, 0}, {255, 0}, {256, 1}, {511, 1}, {512, 2}, {999, 3}}
+	for _, cse := range cases {
+		if got := c.ChunkAtOffset(0, cse.off); got != cse.want {
+			t.Errorf("ChunkAtOffset(0,%d) = %d, want %d", cse.off, got, cse.want)
+		}
+	}
+}
+
+func TestChunkerRejectsBadSize(t *testing.T) {
+	p := MustNew(testProcs(10))
+	if _, err := NewChunker(p, 0); err == nil {
+		t.Error("NewChunker(0) succeeded, want error")
+	}
+	if _, err := NewChunker(p, -1); err == nil {
+		t.Error("NewChunker(-1) succeeded, want error")
+	}
+}
+
+// Property: chunk byte sizes of a procedure sum to the procedure size, and
+// every chunk except the last is exactly chunkSize.
+func TestChunkSizesSumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 1
+		sizes := make([]int, n)
+		for i := range sizes {
+			sizes[i] = rng.Intn(3000) + 1
+		}
+		p := MustNew(testProcs(sizes...))
+		chunkSize := rng.Intn(500) + 1
+		c := MustNewChunker(p, chunkSize)
+		for pid := ProcID(0); int(pid) < n; pid++ {
+			total := 0
+			k := c.NumProcChunks(pid)
+			for i := 0; i < k; i++ {
+				b := c.ChunkBytes(c.Chunk(pid, i))
+				if i < k-1 && b != chunkSize {
+					return false
+				}
+				if b <= 0 || b > chunkSize {
+					return false
+				}
+				total += b
+			}
+			if total != p.Size(pid) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,145 @@
+package program
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteDescription serializes the program as a text description: one
+// "name size" pair per line, in link order. Lines starting with '#' are
+// comments.
+func (p *Program) WriteDescription(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, pr := range p.Procs {
+		if _, err := fmt.Fprintf(bw, "%s %d\n", pr.Name, pr.Size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDescription parses a text program description written by
+// WriteDescription (or by hand).
+func ReadDescription(r io.Reader) (*Program, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	var procs []Procedure
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("program: line %d: want \"name size\", got %q", lineNo, line)
+		}
+		size, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("program: line %d: bad size: %v", lineNo, err)
+		}
+		procs = append(procs, Procedure{Name: fields[0], Size: size})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return New(procs)
+}
+
+// WriteLayout serializes a layout as "name address" lines in address order.
+func (l *Layout) WriteLayout(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range l.OrderByAddress() {
+		if _, err := fmt.Fprintf(bw, "%s %d\n", l.prog.Name(p), l.addr[p]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteOrder serializes just the procedure order of a layout, one symbol
+// name per line in address order — the symbol-ordering-file format consumed
+// by linkers (e.g. lld's --symbol-ordering-file or gold's
+// --section-ordering-file with -ffunction-sections). Padding/alignment gaps
+// are not representable in this format; a linker consuming it realizes the
+// placement's order but not its cache-relative alignment, which recovers
+// most (not all) of the benefit.
+func (l *Layout) WriteOrder(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range l.OrderByAddress() {
+		if _, err := fmt.Fprintln(bw, l.prog.Name(p)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteLinkerScript serializes the layout as a GNU ld SECTIONS fragment
+// that places each function's section at its assigned address, assuming
+// -ffunction-sections naming (.text.<name>). The output preserves the
+// cache-relative alignment exactly.
+func (l *Layout) WriteLinkerScript(w io.Writer, base uint64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "SECTIONS {"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "  .text 0x%x : {\n", base); err != nil {
+		return err
+	}
+	for _, p := range l.OrderByAddress() {
+		if _, err := fmt.Fprintf(bw, "    . = 0x%x;\n    *(.text.%s)\n",
+			uint64(l.addr[p]), l.prog.Name(p)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(bw, "  }\n}"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadLayout parses a layout description against prog.
+func ReadLayout(r io.Reader, prog *Program) (*Layout, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	l := NewLayout(prog)
+	seen := make([]bool, prog.NumProcs())
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("layout: line %d: want \"name address\", got %q", lineNo, line)
+		}
+		id, ok := prog.Lookup(fields[0])
+		if !ok {
+			return nil, fmt.Errorf("layout: line %d: unknown procedure %q", lineNo, fields[0])
+		}
+		addr, err := strconv.Atoi(fields[1])
+		if err != nil || addr < 0 {
+			return nil, fmt.Errorf("layout: line %d: bad address %q", lineNo, fields[1])
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("layout: line %d: duplicate procedure %q", lineNo, fields[0])
+		}
+		seen[id] = true
+		l.SetAddr(id, addr)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for i, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("layout: missing procedure %q", prog.Name(ProcID(i)))
+		}
+	}
+	return l, nil
+}

@@ -1,0 +1,90 @@
+package program
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDescriptionRoundTrip(t *testing.T) {
+	p := MustNew(testProcs(100, 200, 300))
+	var buf bytes.Buffer
+	if err := p.WriteDescription(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDescription(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumProcs() != 3 {
+		t.Fatalf("NumProcs = %d", got.NumProcs())
+	}
+	for i := 0; i < 3; i++ {
+		if got.Size(ProcID(i)) != p.Size(ProcID(i)) || got.Name(ProcID(i)) != p.Name(ProcID(i)) {
+			t.Errorf("proc %d mismatch", i)
+		}
+	}
+}
+
+func TestReadDescriptionSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\nfoo 100\n  bar 200  \n"
+	p, err := ReadDescription(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumProcs() != 2 || p.TotalSize() != 300 {
+		t.Errorf("parsed %d procs, %d bytes", p.NumProcs(), p.TotalSize())
+	}
+}
+
+func TestReadDescriptionErrors(t *testing.T) {
+	bad := []string{
+		"foo\n",          // missing size
+		"foo 1 2\n",      // too many fields
+		"foo abc\n",      // bad size
+		"foo 0\n",        // zero size rejected by New
+		"foo 1\nfoo 2\n", // duplicate name rejected by New
+	}
+	for _, in := range bad {
+		if _, err := ReadDescription(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadDescription(%q) succeeded", in)
+		}
+	}
+}
+
+func TestLayoutRoundTrip(t *testing.T) {
+	p := MustNew(testProcs(100, 200, 300))
+	l, err := OrderedLayout(p, []ProcID{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := l.WriteLayout(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLayout(&buf, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if got.Addr(ProcID(i)) != l.Addr(ProcID(i)) {
+			t.Errorf("addr %d = %d, want %d", i, got.Addr(ProcID(i)), l.Addr(ProcID(i)))
+		}
+	}
+}
+
+func TestReadLayoutErrors(t *testing.T) {
+	p := MustNew(testProcs(10, 20))
+	bad := []string{
+		"A 0\n",            // missing B
+		"A 0\nB 10\nA 5\n", // duplicate
+		"A 0\nZ 10\n",      // unknown
+		"A 0\nB -3\n",      // negative address
+		"A 0\nB\n",         // missing address
+	}
+	for _, in := range bad {
+		if _, err := ReadLayout(strings.NewReader(in), p); err == nil {
+			t.Errorf("ReadLayout(%q) succeeded", in)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package program
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func FuzzReadDescription(f *testing.F) {
+	f.Add("a 100\nb 200\n")
+	f.Add("# comment\n\nx 1\n")
+	f.Add("dup 1\ndup 2\n")
+	f.Add("neg -5\n")
+	f.Add("huge 99999999999999999999\n")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		p, err := ReadDescription(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := p.WriteDescription(&out); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		back, err := ReadDescription(&out)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if back.NumProcs() != p.NumProcs() || back.TotalSize() != p.TotalSize() {
+			t.Fatal("round trip changed the program")
+		}
+	})
+}
+
+func FuzzReadLayout(f *testing.F) {
+	prog := MustNew([]Procedure{{Name: "a", Size: 10}, {Name: "b", Size: 20}})
+	f.Add("a 0\nb 10\n")
+	f.Add("a 0\n")
+	f.Add("a 0\nb -1\n")
+	f.Add("z 0\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		l, err := ReadLayout(strings.NewReader(data), prog)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := l.WriteLayout(&out); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		back, err := ReadLayout(&out, prog)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		for p := 0; p < prog.NumProcs(); p++ {
+			if back.Addr(ProcID(p)) != l.Addr(ProcID(p)) {
+				t.Fatal("round trip changed an address")
+			}
+		}
+	})
+}

@@ -1,0 +1,164 @@
+package program
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Layout assigns each procedure of a Program a starting byte address in the
+// text segment. Layouts are what placement algorithms produce and what the
+// cache simulator consumes.
+type Layout struct {
+	prog *Program
+	// addr[p] is the starting byte address of procedure p.
+	addr []int
+}
+
+// NewLayout creates a layout with every procedure at address 0; callers are
+// expected to set addresses before use (see DefaultLayout and the placement
+// packages for ready-made constructors).
+func NewLayout(prog *Program) *Layout {
+	return &Layout{prog: prog, addr: make([]int, prog.NumProcs())}
+}
+
+// DefaultLayout packs procedures back to back in their original link order,
+// starting at address 0. This is the "default code layout produced by most
+// compilers" that the paper measures as the baseline (Table 1).
+func DefaultLayout(prog *Program) *Layout {
+	l := NewLayout(prog)
+	addr := 0
+	for i := range prog.Procs {
+		l.addr[i] = addr
+		addr += prog.Procs[i].Size
+	}
+	return l
+}
+
+// OrderedLayout packs the given procedures back to back in the given order
+// starting at address 0. Every procedure of the program must appear exactly
+// once.
+func OrderedLayout(prog *Program, order []ProcID) (*Layout, error) {
+	if len(order) != prog.NumProcs() {
+		return nil, fmt.Errorf("program: order has %d procedures, program has %d", len(order), prog.NumProcs())
+	}
+	seen := make([]bool, prog.NumProcs())
+	l := NewLayout(prog)
+	addr := 0
+	for _, p := range order {
+		if p < 0 || int(p) >= prog.NumProcs() {
+			return nil, fmt.Errorf("program: order contains invalid procedure id %d", p)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("program: order lists procedure %d twice", p)
+		}
+		seen[p] = true
+		l.addr[p] = addr
+		addr += prog.Size(p)
+	}
+	return l, nil
+}
+
+// Program returns the program this layout places.
+func (l *Layout) Program() *Program { return l.prog }
+
+// Addr returns the starting address of procedure p.
+func (l *Layout) Addr(p ProcID) int { return l.addr[p] }
+
+// SetAddr sets the starting address of procedure p.
+func (l *Layout) SetAddr(p ProcID, addr int) {
+	if addr < 0 {
+		panic(fmt.Sprintf("program: negative address %d for procedure %d", addr, p))
+	}
+	l.addr[p] = addr
+}
+
+// End returns the first byte address past procedure p.
+func (l *Layout) End(p ProcID) int { return l.addr[p] + l.prog.Size(p) }
+
+// Extent returns the first byte address past the last procedure (the size of
+// the laid-out text segment including any gaps).
+func (l *Layout) Extent() int {
+	max := 0
+	for p := range l.addr {
+		if end := l.End(ProcID(p)); end > max {
+			max = end
+		}
+	}
+	return max
+}
+
+// Clone returns an independent copy of the layout.
+func (l *Layout) Clone() *Layout {
+	c := NewLayout(l.prog)
+	copy(c.addr, l.addr)
+	return c
+}
+
+// StartLine returns the cache line index (for a cache with numLines lines of
+// lineSize bytes) that procedure p's first byte maps to.
+func (l *Layout) StartLine(p ProcID, lineSize, numLines int) int {
+	return (l.addr[p] / lineSize) % numLines
+}
+
+// PadAll returns a copy of the layout in which every procedure has been
+// shifted so that an extra pad bytes of empty space follows each procedure,
+// preserving the address order. This reproduces the Section 5.1 sensitivity
+// experiment ("each procedure is padded by an additional 32 bytes").
+func (l *Layout) PadAll(pad int) *Layout {
+	order := l.OrderByAddress()
+	c := NewLayout(l.prog)
+	// Each procedure keeps its original gaps but slides down by pad bytes
+	// for every procedure that precedes it.
+	shift := 0
+	for _, p := range order {
+		c.addr[p] = l.addr[p] + shift
+		shift += pad
+	}
+	return c
+}
+
+// OrderByAddress returns procedure IDs sorted by starting address (ties by
+// ID, though valid layouts have none).
+func (l *Layout) OrderByAddress() []ProcID {
+	ids := make([]ProcID, l.prog.NumProcs())
+	for i := range ids {
+		ids[i] = ProcID(i)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		ai, aj := l.addr[ids[i]], l.addr[ids[j]]
+		if ai != aj {
+			return ai < aj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// Validate checks that no two procedures overlap in the address space.
+func (l *Layout) Validate() error {
+	order := l.OrderByAddress()
+	for i := 1; i < len(order); i++ {
+		prev, cur := order[i-1], order[i]
+		if l.End(prev) > l.addr[cur] {
+			return fmt.Errorf("program: procedures %q [%d,%d) and %q [%d,%d) overlap",
+				l.prog.Name(prev), l.addr[prev], l.End(prev),
+				l.prog.Name(cur), l.addr[cur], l.End(cur))
+		}
+	}
+	return nil
+}
+
+// Gaps returns the empty regions between consecutive procedures (and before
+// the first one), as [start,end) byte ranges.
+func (l *Layout) Gaps() [][2]int {
+	var gaps [][2]int
+	order := l.OrderByAddress()
+	prevEnd := 0
+	for _, p := range order {
+		if l.addr[p] > prevEnd {
+			gaps = append(gaps, [2]int{prevEnd, l.addr[p]})
+		}
+		prevEnd = l.End(p)
+	}
+	return gaps
+}

@@ -1,0 +1,152 @@
+package program
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultLayoutPacksInOrder(t *testing.T) {
+	p := MustNew(testProcs(100, 200, 50))
+	l := DefaultLayout(p)
+	wantAddrs := []int{0, 100, 300}
+	for i, w := range wantAddrs {
+		if got := l.Addr(ProcID(i)); got != w {
+			t.Errorf("Addr(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if got := l.Extent(); got != 350 {
+		t.Errorf("Extent = %d, want 350", got)
+	}
+	if err := l.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if gaps := l.Gaps(); len(gaps) != 0 {
+		t.Errorf("Gaps = %v, want none", gaps)
+	}
+}
+
+func TestOrderedLayout(t *testing.T) {
+	p := MustNew(testProcs(100, 200, 50))
+	l, err := OrderedLayout(p, []ProcID{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Addr(2) != 0 || l.Addr(0) != 50 || l.Addr(1) != 150 {
+		t.Errorf("addrs = %d,%d,%d", l.Addr(0), l.Addr(1), l.Addr(2))
+	}
+	order := l.OrderByAddress()
+	want := []ProcID{2, 0, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("OrderByAddress = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestOrderedLayoutRejectsBadOrders(t *testing.T) {
+	p := MustNew(testProcs(10, 20))
+	bad := [][]ProcID{
+		{0},         // too short
+		{0, 0},      // duplicate
+		{0, 2},      // out of range
+		{0, 1, 1},   // too long
+		{NoProc, 0}, // negative
+	}
+	for _, order := range bad {
+		if _, err := OrderedLayout(p, order); err == nil {
+			t.Errorf("OrderedLayout(%v) succeeded, want error", order)
+		}
+	}
+}
+
+func TestValidateDetectsOverlap(t *testing.T) {
+	p := MustNew(testProcs(100, 100))
+	l := NewLayout(p)
+	l.SetAddr(0, 0)
+	l.SetAddr(1, 50)
+	if err := l.Validate(); err == nil {
+		t.Error("Validate accepted overlapping layout")
+	}
+	l.SetAddr(1, 100)
+	if err := l.Validate(); err != nil {
+		t.Errorf("Validate rejected adjacent layout: %v", err)
+	}
+}
+
+func TestGaps(t *testing.T) {
+	p := MustNew(testProcs(100, 100))
+	l := NewLayout(p)
+	l.SetAddr(0, 32)
+	l.SetAddr(1, 200)
+	gaps := l.Gaps()
+	want := [][2]int{{0, 32}, {132, 200}}
+	if len(gaps) != len(want) {
+		t.Fatalf("Gaps = %v, want %v", gaps, want)
+	}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Fatalf("Gaps = %v, want %v", gaps, want)
+		}
+	}
+}
+
+func TestStartLine(t *testing.T) {
+	p := MustNew(testProcs(64))
+	l := NewLayout(p)
+	// 8KB cache, 32-byte lines = 256 lines.
+	l.SetAddr(0, 8192+64) // one full cache wrap plus 2 lines
+	if got := l.StartLine(0, 32, 256); got != 2 {
+		t.Errorf("StartLine = %d, want 2", got)
+	}
+}
+
+func TestPadAll(t *testing.T) {
+	p := MustNew(testProcs(100, 200, 50))
+	l := DefaultLayout(p)
+	padded := l.PadAll(32)
+	if padded.Addr(0) != 0 || padded.Addr(1) != 132 || padded.Addr(2) != 364 {
+		t.Errorf("padded addrs = %d,%d,%d want 0,132,364",
+			padded.Addr(0), padded.Addr(1), padded.Addr(2))
+	}
+	if err := padded.Validate(); err != nil {
+		t.Errorf("padded layout invalid: %v", err)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	p := MustNew(testProcs(10, 20))
+	l := DefaultLayout(p)
+	c := l.Clone()
+	c.SetAddr(0, 999)
+	if l.Addr(0) == 999 {
+		t.Error("Clone shares address storage")
+	}
+}
+
+// Property: OrderedLayout over a random permutation always validates, has no
+// gaps, and its extent equals the total program size.
+func TestOrderedLayoutProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 1
+		sizes := make([]int, n)
+		for i := range sizes {
+			sizes[i] = rng.Intn(2000) + 1
+		}
+		p := MustNew(testProcs(sizes...))
+		order := make([]ProcID, n)
+		for i := range order {
+			order[i] = ProcID(i)
+		}
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		l, err := OrderedLayout(p, order)
+		if err != nil {
+			return false
+		}
+		return l.Validate() == nil && len(l.Gaps()) == 0 && l.Extent() == p.TotalSize()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

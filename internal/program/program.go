@@ -1,0 +1,124 @@
+// Package program models the static structure of an executable as seen by a
+// procedure-placement algorithm: a set of procedures with byte sizes, the
+// division of procedures into fixed-size chunks, and layouts that assign each
+// procedure a starting address in the text segment.
+//
+// The model deliberately contains no instructions. Placement algorithms in
+// this repository (PH, HKC, GBSC) consume only procedure identities, sizes,
+// and profile information, exactly as the algorithms in the paper do.
+package program
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ProcID identifies a procedure within a Program. IDs are dense indices
+// into Program.Procs, which keeps graph and layout structures compact.
+type ProcID int32
+
+// NoProc is the zero-value sentinel for "no procedure".
+const NoProc ProcID = -1
+
+// Procedure is a single unit of placeable code.
+type Procedure struct {
+	ID   ProcID
+	Name string
+	// Size is the procedure body size in bytes. Placement preserves the
+	// size; only the starting address changes.
+	Size int
+}
+
+// Program is an immutable collection of procedures in their original
+// (source/link) order. The original order defines the default layout.
+type Program struct {
+	Procs  []Procedure
+	byName map[string]ProcID
+}
+
+// New builds a Program from procedures listed in their original link order.
+// Procedure IDs are assigned in that order. Names must be unique and sizes
+// positive.
+func New(procs []Procedure) (*Program, error) {
+	p := &Program{
+		Procs:  make([]Procedure, len(procs)),
+		byName: make(map[string]ProcID, len(procs)),
+	}
+	for i, pr := range procs {
+		if pr.Size <= 0 {
+			return nil, fmt.Errorf("program: procedure %q has non-positive size %d", pr.Name, pr.Size)
+		}
+		if pr.Name == "" {
+			return nil, fmt.Errorf("program: procedure %d has empty name", i)
+		}
+		if _, dup := p.byName[pr.Name]; dup {
+			return nil, fmt.Errorf("program: duplicate procedure name %q", pr.Name)
+		}
+		pr.ID = ProcID(i)
+		p.Procs[i] = pr
+		p.byName[pr.Name] = pr.ID
+	}
+	return p, nil
+}
+
+// MustNew is New but panics on error; for tests and literals.
+func MustNew(procs []Procedure) *Program {
+	p, err := New(procs)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// NumProcs returns the number of procedures.
+func (p *Program) NumProcs() int { return len(p.Procs) }
+
+// Proc returns the procedure with the given ID.
+func (p *Program) Proc(id ProcID) Procedure { return p.Procs[id] }
+
+// Size returns the size in bytes of procedure id.
+func (p *Program) Size(id ProcID) int { return p.Procs[id].Size }
+
+// Name returns the name of procedure id.
+func (p *Program) Name(id ProcID) string { return p.Procs[id].Name }
+
+// Lookup resolves a procedure name to its ID.
+func (p *Program) Lookup(name string) (ProcID, bool) {
+	id, ok := p.byName[name]
+	return id, ok
+}
+
+// TotalSize returns the sum of all procedure sizes in bytes.
+func (p *Program) TotalSize() int {
+	total := 0
+	for _, pr := range p.Procs {
+		total += pr.Size
+	}
+	return total
+}
+
+// SizeLines returns the number of cache lines procedure id occupies when it
+// starts on a line boundary: ceil(size/lineSize).
+func (p *Program) SizeLines(id ProcID, lineSize int) int {
+	return CeilDiv(p.Procs[id].Size, lineSize)
+}
+
+// CeilDiv returns ceil(a/b) for positive b.
+func CeilDiv(a, b int) int { return (a + b - 1) / b }
+
+// SortedBySizeDesc returns the procedure IDs ordered by decreasing size,
+// breaking ties by ID for determinism.
+func (p *Program) SortedBySizeDesc() []ProcID {
+	ids := make([]ProcID, len(p.Procs))
+	for i := range ids {
+		ids[i] = ProcID(i)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := p.Procs[ids[i]], p.Procs[ids[j]]
+		if a.Size != b.Size {
+			return a.Size > b.Size
+		}
+		return a.ID < b.ID
+	})
+	return ids
+}

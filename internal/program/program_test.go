@@ -1,0 +1,111 @@
+package program
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testProcs(sizes ...int) []Procedure {
+	procs := make([]Procedure, len(sizes))
+	for i, s := range sizes {
+		procs[i] = Procedure{Name: string(rune('A' + i)), Size: s}
+	}
+	return procs
+}
+
+func TestNewAssignsIDsInOrder(t *testing.T) {
+	p := MustNew(testProcs(100, 200, 300))
+	if p.NumProcs() != 3 {
+		t.Fatalf("NumProcs = %d, want 3", p.NumProcs())
+	}
+	for i := 0; i < 3; i++ {
+		if got := p.Proc(ProcID(i)).ID; got != ProcID(i) {
+			t.Errorf("Proc(%d).ID = %d", i, got)
+		}
+	}
+	if p.Size(1) != 200 {
+		t.Errorf("Size(1) = %d, want 200", p.Size(1))
+	}
+	if p.Name(2) != "C" {
+		t.Errorf("Name(2) = %q, want C", p.Name(2))
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name  string
+		procs []Procedure
+	}{
+		{"zero size", []Procedure{{Name: "a", Size: 0}}},
+		{"negative size", []Procedure{{Name: "a", Size: -5}}},
+		{"empty name", []Procedure{{Name: "", Size: 10}}},
+		{"duplicate name", []Procedure{{Name: "a", Size: 10}, {Name: "a", Size: 20}}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.procs); err == nil {
+			t.Errorf("%s: New succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	p := MustNew(testProcs(10, 20))
+	id, ok := p.Lookup("B")
+	if !ok || id != 1 {
+		t.Errorf("Lookup(B) = %d,%v want 1,true", id, ok)
+	}
+	if _, ok := p.Lookup("Z"); ok {
+		t.Error("Lookup(Z) succeeded, want miss")
+	}
+}
+
+func TestTotalSize(t *testing.T) {
+	p := MustNew(testProcs(10, 20, 30))
+	if got := p.TotalSize(); got != 60 {
+		t.Errorf("TotalSize = %d, want 60", got)
+	}
+}
+
+func TestSizeLines(t *testing.T) {
+	p := MustNew(testProcs(32, 33, 1, 64))
+	want := []int{1, 2, 1, 2}
+	for i, w := range want {
+		if got := p.SizeLines(ProcID(i), 32); got != w {
+			t.Errorf("SizeLines(%d, 32) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestSortedBySizeDesc(t *testing.T) {
+	p := MustNew(testProcs(10, 30, 20, 30))
+	got := p.SortedBySizeDesc()
+	want := []ProcID{1, 3, 2, 0} // ties (1 and 3, both size 30) broken by ID
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedBySizeDesc = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 4, 0}, {1, 4, 1}, {4, 4, 1}, {5, 4, 2}, {8, 4, 2}, {9, 4, 3},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCeilDivProperty(t *testing.T) {
+	f := func(a uint16, b uint8) bool {
+		bb := int(b)%64 + 1
+		aa := int(a)
+		q := CeilDiv(aa, bb)
+		return q*bb >= aa && (q-1)*bb < aa
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,184 @@
+// Package split implements profile-driven procedure splitting, the
+// orthogonal code-placement technique of Pettis & Hansen that the paper's
+// conclusion singles out: "procedure splitting ... [is] orthogonal to the
+// problem of placing whole procedures and can therefore be combined with
+// our technique to achieve further improvements."
+//
+// A procedure whose activations usually execute only a prefix of its body
+// is split into a hot part (the prefix that covers most activations) and a
+// cold part (the rarely reached tail). The placement algorithm then places
+// the two parts independently: hot parts pack densely in the cache while
+// cold tails stop wasting the address space between hot code.
+package split
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// Options tunes the splitter.
+type Options struct {
+	// Coverage is the fraction of a procedure's activations whose extent
+	// must fall entirely within the hot part. The default, 1.0, splits at
+	// the maximum observed extent: only code the profile never reached
+	// moves to the cold part, so no training activation ever crosses the
+	// split. Lower values split more aggressively at the cost of
+	// hot→cold round trips for the activations beyond the quantile —
+	// profitable only when those are truly rare.
+	Coverage float64
+	// MinColdBytes suppresses splits whose cold part would be smaller
+	// than this (not worth a symbol + alignment padding). Default 256.
+	MinColdBytes int
+	// Align rounds the split point up to a multiple of this many bytes
+	// (typically the cache line size). Default 32.
+	Align int
+	// MinActivations suppresses splits of procedures executed fewer than
+	// this many times; their extent distribution is noise. Default 8.
+	MinActivations int
+}
+
+func (o *Options) setDefaults() {
+	if o.Coverage == 0 {
+		o.Coverage = 1.0
+	}
+	if o.MinColdBytes == 0 {
+		o.MinColdBytes = 256
+	}
+	if o.Align == 0 {
+		o.Align = 32
+	}
+	if o.MinActivations == 0 {
+		o.MinActivations = 8
+	}
+}
+
+// Result describes a split program.
+type Result struct {
+	// Prog is the transformed program: one procedure per hot part, in the
+	// original order, followed by the cold parts.
+	Prog *program.Program
+	// HotOf[orig] is the transformed ID of the hot part (or of the whole
+	// procedure when it was not split).
+	HotOf []program.ProcID
+	// ColdOf[orig] is the transformed ID of the cold part, or
+	// program.NoProc when the procedure was not split.
+	ColdOf []program.ProcID
+	// HotBytes[orig] is the size of the hot part (== original size when
+	// not split).
+	HotBytes []int
+	// Splits is the number of procedures that were split.
+	Splits int
+}
+
+// Split analyzes the extent distribution of every procedure in tr and
+// produces the split program.
+func Split(prog *program.Program, tr *trace.Trace, opts Options) (*Result, error) {
+	opts.setDefaults()
+	if err := tr.Validate(prog); err != nil {
+		return nil, err
+	}
+	if opts.Coverage <= 0 || opts.Coverage > 1 {
+		return nil, fmt.Errorf("split: coverage %v out of (0,1]", opts.Coverage)
+	}
+
+	// Gather per-procedure extent samples.
+	extents := make([][]int, prog.NumProcs())
+	for _, e := range tr.Events {
+		extents[e.Proc] = append(extents[e.Proc], e.ExtentBytes(prog))
+	}
+
+	res := &Result{
+		HotOf:    make([]program.ProcID, prog.NumProcs()),
+		ColdOf:   make([]program.ProcID, prog.NumProcs()),
+		HotBytes: make([]int, prog.NumProcs()),
+	}
+
+	var procs []program.Procedure
+	type coldPart struct {
+		orig program.ProcID
+		size int
+	}
+	var colds []coldPart
+
+	for p := 0; p < prog.NumProcs(); p++ {
+		id := program.ProcID(p)
+		size := prog.Size(id)
+		hot := size
+		if samples := extents[p]; len(samples) >= opts.MinActivations {
+			sort.Ints(samples)
+			// The smallest prefix covering Coverage of the activations.
+			q := samples[int(float64(len(samples)-1)*opts.Coverage)]
+			q = program.CeilDiv(q, opts.Align) * opts.Align
+			if q < size && size-q >= opts.MinColdBytes {
+				hot = q
+			}
+		}
+		res.HotBytes[p] = hot
+		res.HotOf[p] = program.ProcID(len(procs))
+		if hot < size {
+			procs = append(procs, program.Procedure{
+				Name: prog.Name(id) + ".hot",
+				Size: hot,
+			})
+			colds = append(colds, coldPart{orig: id, size: size - hot})
+			res.Splits++
+		} else {
+			procs = append(procs, program.Procedure{
+				Name: prog.Name(id),
+				Size: size,
+			})
+			res.ColdOf[p] = program.NoProc
+		}
+	}
+	for _, c := range colds {
+		res.ColdOf[c.orig] = program.ProcID(len(procs))
+		procs = append(procs, program.Procedure{
+			Name: prog.Name(c.orig) + ".cold",
+			Size: c.size,
+		})
+	}
+
+	var err error
+	res.Prog, err = program.New(procs)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// TransformTrace rewrites a trace of the original program into the split
+// program: an activation whose extent stays within the hot part becomes a
+// single activation of the hot procedure; one that runs past the split
+// point additionally activates the cold part with the overflow, and
+// control returns to the hot part afterwards (call/return glue), mirroring
+// how split code actually executes.
+func (r *Result) TransformTrace(prog *program.Program, tr *trace.Trace) (*trace.Trace, error) {
+	if err := tr.Validate(prog); err != nil {
+		return nil, err
+	}
+	out := &trace.Trace{Events: make([]trace.Event, 0, len(tr.Events))}
+	for _, e := range tr.Events {
+		hotID := r.HotOf[e.Proc]
+		hotSize := r.HotBytes[e.Proc]
+		ext := e.ExtentBytes(prog)
+		if coldID := r.ColdOf[e.Proc]; coldID != program.NoProc && ext > hotSize {
+			rep := e.Repeats()
+			for i := 0; i < rep; i++ {
+				out.Events = append(out.Events,
+					trace.Event{Proc: hotID, Extent: int32(hotSize)},
+					trace.Event{Proc: coldID, Extent: int32(ext - hotSize)},
+				)
+			}
+			continue
+		}
+		out.Events = append(out.Events, trace.Event{
+			Proc:   hotID,
+			Extent: int32(ext),
+			Repeat: e.Repeat,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,203 @@
+package split
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+func splitProg(t *testing.T) *program.Program {
+	t.Helper()
+	return program.MustNew([]program.Procedure{
+		{Name: "mostlyHot", Size: 4096}, // usually only the prefix runs
+		{Name: "allHot", Size: 512},     // always fully executed
+		{Name: "rare", Size: 1024},      // too few samples to split
+	})
+}
+
+func prefixTrace(prog *program.Program) *trace.Trace {
+	tr := &trace.Trace{}
+	// mostlyHot: 95 activations touch 512 bytes, 5 touch everything.
+	for i := 0; i < 95; i++ {
+		tr.Append(trace.Event{Proc: 0, Extent: 512})
+	}
+	for i := 0; i < 5; i++ {
+		tr.Append(trace.Event{Proc: 0})
+	}
+	for i := 0; i < 50; i++ {
+		tr.Append(trace.Event{Proc: 1})
+	}
+	tr.Append(trace.Event{Proc: 2, Extent: 64})
+	return tr
+}
+
+func TestSplitFindsHotPrefix(t *testing.T) {
+	prog := splitProg(t)
+	res, err := Split(prog, prefixTrace(prog), Options{Coverage: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Splits != 1 {
+		t.Fatalf("Splits = %d, want 1", res.Splits)
+	}
+	// mostlyHot split at (about) 512 bytes.
+	if res.HotBytes[0] != 512 {
+		t.Errorf("HotBytes = %d, want 512", res.HotBytes[0])
+	}
+	hot, cold := res.HotOf[0], res.ColdOf[0]
+	if cold == program.NoProc {
+		t.Fatal("mostlyHot not split")
+	}
+	if res.Prog.Size(hot) != 512 || res.Prog.Size(cold) != 4096-512 {
+		t.Errorf("part sizes %d/%d", res.Prog.Size(hot), res.Prog.Size(cold))
+	}
+	if res.Prog.Name(hot) != "mostlyHot.hot" || res.Prog.Name(cold) != "mostlyHot.cold" {
+		t.Errorf("names %q/%q", res.Prog.Name(hot), res.Prog.Name(cold))
+	}
+	// allHot untouched.
+	if res.ColdOf[1] != program.NoProc {
+		t.Error("allHot split despite full execution")
+	}
+	if res.Prog.Name(res.HotOf[1]) != "allHot" {
+		t.Errorf("unsplit name %q", res.Prog.Name(res.HotOf[1]))
+	}
+	// rare untouched (below MinActivations).
+	if res.ColdOf[2] != program.NoProc {
+		t.Error("rare split despite too few samples")
+	}
+	// Total size conserved.
+	if res.Prog.TotalSize() != prog.TotalSize() {
+		t.Errorf("total size %d != %d", res.Prog.TotalSize(), prog.TotalSize())
+	}
+}
+
+func TestSplitRespectsMinColdBytes(t *testing.T) {
+	prog := program.MustNew([]program.Procedure{{Name: "p", Size: 600}})
+	tr := &trace.Trace{}
+	for i := 0; i < 20; i++ {
+		tr.Append(trace.Event{Proc: 0, Extent: 512})
+	}
+	res, err := Split(prog, tr, Options{Coverage: 0.95, MinColdBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold part would be 600-512 = 88 < 256: no split.
+	if res.Splits != 0 {
+		t.Errorf("Splits = %d, want 0", res.Splits)
+	}
+}
+
+func TestSplitAlignsSplitPoint(t *testing.T) {
+	prog := program.MustNew([]program.Procedure{{Name: "p", Size: 4096}})
+	tr := &trace.Trace{}
+	for i := 0; i < 20; i++ {
+		tr.Append(trace.Event{Proc: 0, Extent: 100}) // not a multiple of 32
+	}
+	res, err := Split(prog, tr, Options{Coverage: 0.95, Align: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Splits != 1 {
+		t.Fatal("no split")
+	}
+	if res.HotBytes[0]%32 != 0 {
+		t.Errorf("split point %d not 32-byte aligned", res.HotBytes[0])
+	}
+	if res.HotBytes[0] < 100 {
+		t.Errorf("split point %d below the covered extent", res.HotBytes[0])
+	}
+}
+
+func TestTransformTrace(t *testing.T) {
+	prog := splitProg(t)
+	tr := prefixTrace(prog)
+	res, err := Split(prog, tr, Options{Coverage: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := res.TransformTrace(prog, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(res.Prog); err != nil {
+		t.Fatal(err)
+	}
+	hot, cold := res.HotOf[0], res.ColdOf[0]
+	var hotCount, coldCount int
+	for _, e := range out.Events {
+		switch e.Proc {
+		case hot:
+			hotCount++
+		case cold:
+			coldCount++
+		}
+	}
+	// 100 activations of mostlyHot → 100 hot activations; the 5 full ones
+	// also activate the cold part.
+	if hotCount != 100 {
+		t.Errorf("hot activations = %d, want 100", hotCount)
+	}
+	if coldCount != 5 {
+		t.Errorf("cold activations = %d, want 5", coldCount)
+	}
+}
+
+func TestSplitRejectsBadInput(t *testing.T) {
+	prog := splitProg(t)
+	bad := &trace.Trace{Events: []trace.Event{{Proc: 99}}}
+	if _, err := Split(prog, bad, Options{}); err == nil {
+		t.Error("Split accepted invalid trace")
+	}
+	if _, err := Split(prog, &trace.Trace{}, Options{Coverage: 2}); err == nil {
+		t.Error("Split accepted coverage > 1")
+	}
+}
+
+// Property: splitting conserves total program size, keeps every hot part
+// at least as large as the covered extent quantile, and the transformed
+// trace validates against the split program with the same total executed
+// bytes.
+func TestSplitConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(8) + 1
+		procs := make([]program.Procedure, n)
+		for i := range procs {
+			procs[i] = program.Procedure{Name: string(rune('a' + i)), Size: rng.Intn(4000) + 64}
+		}
+		prog := program.MustNew(procs)
+		tr := &trace.Trace{}
+		for i := 0; i < 300; i++ {
+			p := program.ProcID(rng.Intn(n))
+			tr.Append(trace.Event{
+				Proc:   p,
+				Extent: int32(rng.Intn(prog.Size(p)) + 1),
+			})
+		}
+		res, err := Split(prog, tr, Options{})
+		if err != nil {
+			return false
+		}
+		if res.Prog.TotalSize() != prog.TotalSize() {
+			return false
+		}
+		out, err := res.TransformTrace(prog, tr)
+		if err != nil || out.Validate(res.Prog) != nil {
+			return false
+		}
+		var origBytes, newBytes int64
+		for _, e := range tr.Events {
+			origBytes += int64(e.ExtentBytes(prog)) * int64(e.Repeats())
+		}
+		for _, e := range out.Events {
+			newBytes += int64(e.ExtentBytes(res.Prog)) * int64(e.Repeats())
+		}
+		return origBytes == newBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

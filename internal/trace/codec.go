@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/program"
+)
+
+// Binary format:
+//
+//	magic "RTR1"
+//	uvarint number of events
+//	per event: uvarint procID, uvarint extent, uvarint repeat
+//
+// Text format (one event per line, lines starting with '#' are comments):
+//
+//	<procName> [<extent> [<repeat>]]
+//
+// Binary is the tool-to-tool interchange format; text is for hand-written
+// fixtures and debugging.
+
+const binaryMagic = "RTR1"
+
+// WriteBinary serializes the trace in the binary format.
+func (t *Trace) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := put(uint64(len(t.Events))); err != nil {
+		return err
+	}
+	for _, e := range t.Events {
+		if err := put(uint64(e.Proc)); err != nil {
+			return err
+		}
+		if err := put(uint64(e.Extent)); err != nil {
+			return err
+		}
+		if err := put(uint64(e.Repeat)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a trace in the binary format (counted or streamed; see
+// Reader for incremental consumption).
+func ReadBinary(r io.Reader) (*Trace, error) {
+	sr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	if !sr.streaming {
+		const maxEvents = 1 << 30
+		if sr.remaining > maxEvents {
+			return nil, fmt.Errorf("trace: event count %d too large", sr.remaining)
+		}
+	}
+	return sr.ReadAll()
+}
+
+// WriteText serializes the trace in the text format using procedure names
+// from prog.
+func (t *Trace) WriteText(w io.Writer, prog *program.Program) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# repro trace v1"); err != nil {
+		return err
+	}
+	for _, e := range t.Events {
+		var err error
+		switch {
+		case e.Repeat > 1:
+			_, err = fmt.Fprintf(bw, "%s %d %d\n", prog.Name(e.Proc), e.Extent, e.Repeat)
+		case e.Extent > 0:
+			_, err = fmt.Fprintf(bw, "%s %d\n", prog.Name(e.Proc), e.Extent)
+		default:
+			_, err = fmt.Fprintln(bw, prog.Name(e.Proc))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses a trace in the text format, resolving names against prog.
+func ReadText(r io.Reader, prog *program.Program) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	t := &Trace{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		id, ok := prog.Lookup(fields[0])
+		if !ok {
+			return nil, fmt.Errorf("trace: line %d: unknown procedure %q", lineNo, fields[0])
+		}
+		e := Event{Proc: id}
+		if len(fields) > 1 {
+			v, err := strconv.ParseInt(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad extent: %v", lineNo, err)
+			}
+			e.Extent = int32(v)
+		}
+		if len(fields) > 2 {
+			v, err := strconv.ParseInt(fields[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad repeat: %v", lineNo, err)
+			}
+			e.Repeat = int32(v)
+		}
+		if len(fields) > 3 {
+			return nil, fmt.Errorf("trace: line %d: too many fields", lineNo)
+		}
+		t.Events = append(t.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// FromNames builds a trace from a whitespace-separated list of procedure
+// names, each with full extent and single execution. This mirrors the
+// call/return traces written out in the paper's Figure 1 and is the main
+// fixture constructor in tests.
+func FromNames(prog *program.Program, names ...string) (*Trace, error) {
+	t := &Trace{Events: make([]Event, 0, len(names))}
+	for _, n := range names {
+		id, ok := prog.Lookup(n)
+		if !ok {
+			return nil, fmt.Errorf("trace: unknown procedure %q", n)
+		}
+		t.Events = append(t.Events, Event{Proc: id})
+	}
+	return t, nil
+}
+
+// MustFromNames is FromNames but panics on error.
+func MustFromNames(prog *program.Program, names ...string) *Trace {
+	t, err := FromNames(prog, names...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/program"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Proc: 0},
+		{Proc: 3, Extent: 700, Repeat: 9},
+		{Proc: 1, Extent: 5},
+	}}
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Events, tr.Events) {
+		t.Errorf("round trip mismatch: %v vs %v", got.Events, tr.Events)
+	}
+}
+
+func TestBinaryRejectsBadMagic(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("XXXX\x00")); err == nil {
+		t.Error("ReadBinary accepted bad magic")
+	}
+	if _, err := ReadBinary(strings.NewReader("RT")); err == nil {
+		t.Error("ReadBinary accepted truncated magic")
+	}
+}
+
+func TestBinaryRejectsTruncated(t *testing.T) {
+	tr := &Trace{Events: []Event{{Proc: 1}, {Proc: 2}}}
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(raw[:len(raw)-1])); err == nil {
+		t.Error("ReadBinary accepted truncated stream")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	prog := testProg(t)
+	tr := &Trace{Events: []Event{
+		{Proc: 0},
+		{Proc: 3, Extent: 700, Repeat: 9},
+		{Proc: 1, Extent: 5},
+	}}
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf, prog); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Events, tr.Events) {
+		t.Errorf("round trip mismatch: %v vs %v", got.Events, tr.Events)
+	}
+}
+
+func TestReadTextHandlesCommentsAndBlanks(t *testing.T) {
+	prog := testProg(t)
+	in := "# header\n\nM\n  X 64 \n# trailing\n"
+	tr, err := ReadText(strings.NewReader(in), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 || tr.Events[0].Proc != 0 || tr.Events[1].Extent != 64 {
+		t.Errorf("parsed %v", tr.Events)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	prog := testProg(t)
+	bad := []string{
+		"Nope\n",
+		"M abc\n",
+		"M 1 abc\n",
+		"M 1 2 3\n",
+	}
+	for _, in := range bad {
+		if _, err := ReadText(strings.NewReader(in), prog); err == nil {
+			t.Errorf("ReadText(%q) succeeded, want error", in)
+		}
+	}
+}
+
+// Property: binary round trip preserves arbitrary valid traces.
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		tr := &Trace{Events: make([]Event, n)}
+		for i := range tr.Events {
+			tr.Events[i] = Event{
+				Proc:   program.ProcID(rng.Intn(5000)),
+				Extent: int32(rng.Intn(1 << 20)),
+				Repeat: int32(rng.Intn(1000)),
+			}
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteBinary(&buf); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Events) != len(tr.Events) {
+			return false
+		}
+		for i := range tr.Events {
+			if got.Events[i] != tr.Events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/program"
+)
+
+// Fuzz targets: the codecs must never panic on corrupt input, and anything
+// they accept must re-serialize cleanly. Run with `go test -fuzz=FuzzReadBinary`
+// for continuous fuzzing; the seed corpus below runs under plain `go test`.
+
+func FuzzReadBinary(f *testing.F) {
+	// Seeds: a valid trace, a truncated one, junk.
+	var buf bytes.Buffer
+	tr := &Trace{Events: []Event{{Proc: 1, Extent: 100, Repeat: 2}, {Proc: 300}}}
+	if err := tr.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-2])
+	f.Add([]byte("RTR1"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parses must round trip.
+		var out bytes.Buffer
+		if err := got.WriteBinary(&out); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		back, err := ReadBinary(&out)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if back.Len() != got.Len() {
+			t.Fatalf("round trip changed length %d -> %d", got.Len(), back.Len())
+		}
+	})
+}
+
+func FuzzReadText(f *testing.F) {
+	prog := program.MustNew([]program.Procedure{
+		{Name: "a", Size: 100},
+		{Name: "b", Size: 200},
+	})
+	f.Add("a\nb 10\na 5 2\n")
+	f.Add("# comment\n\n")
+	f.Add("a 99999999999999999999\n")
+	f.Add("unknown\n")
+	f.Add("a 1 2 3 4\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		got, err := ReadText(bytes.NewReader([]byte(data)), prog)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := got.WriteText(&out, prog); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		if _, err := ReadText(&out, prog); err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+	})
+}

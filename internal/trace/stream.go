@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/program"
+)
+
+// Writer emits events incrementally in the binary format without holding
+// the trace in memory. Because the format carries an up-front event count,
+// the writer buffers nothing but requires Close to patch the count is not
+// possible on plain io.Writer; instead the streaming format uses a count of
+// maxStreamCount as a sentinel meaning "until EOF".
+const streamSentinel = ^uint64(0) >> 1 // large, never a real count
+
+// Writer streams events in the binary interchange format.
+type Writer struct {
+	bw  *bufio.Writer
+	err error
+	n   int64
+}
+
+// NewWriter starts a streaming trace on w. The stream is readable both by
+// Reader and by ReadBinary.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return nil, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], streamSentinel)
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return nil, err
+	}
+	return &Writer{bw: bw}, nil
+}
+
+// Write appends one event.
+func (w *Writer) Write(e Event) error {
+	if w.err != nil {
+		return w.err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	for _, v := range [3]uint64{uint64(e.Proc), uint64(e.Extent), uint64(e.Repeat)} {
+		n := binary.PutUvarint(buf[:], v)
+		if _, err := w.bw.Write(buf[:n]); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of events written so far.
+func (w *Writer) Count() int64 { return w.n }
+
+// Flush flushes buffered output; call when the stream is complete.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// Reader consumes a binary trace incrementally.
+type Reader struct {
+	br        *bufio.Reader
+	remaining uint64
+	streaming bool
+}
+
+// NewReader parses the header and prepares to stream events.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading event count: %w", err)
+	}
+	return &Reader{br: br, remaining: n, streaming: n == streamSentinel}, nil
+}
+
+// Next returns the next event, or io.EOF when the stream ends.
+func (r *Reader) Next() (Event, error) {
+	if !r.streaming && r.remaining == 0 {
+		return Event{}, io.EOF
+	}
+	p, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		if r.streaming && err == io.EOF {
+			return Event{}, io.EOF
+		}
+		return Event{}, fmt.Errorf("trace: reading event: %w", err)
+	}
+	ext, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return Event{}, fmt.Errorf("trace: reading extent: %w", err)
+	}
+	rep, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return Event{}, fmt.Errorf("trace: reading repeat: %w", err)
+	}
+	if !r.streaming {
+		r.remaining--
+	}
+	return Event{
+		Proc:   program.ProcID(p),
+		Extent: int32(ext),
+		Repeat: int32(rep),
+	}, nil
+}
+
+// ReadAll drains the reader into an in-memory Trace.
+func (r *Reader) ReadAll() (*Trace, error) {
+	t := &Trace{}
+	for {
+		e, err := r.Next()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Append(e)
+	}
+}

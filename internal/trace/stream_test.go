@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/program"
+)
+
+func TestStreamWriteRead(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []Event{
+		{Proc: 0},
+		{Proc: 7, Extent: 100, Repeat: 3},
+		{Proc: 2, Extent: 5},
+	}
+	for _, e := range events {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range events {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("event %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("after stream end: %v, want EOF", err)
+	}
+}
+
+func TestStreamedTraceReadableByReadBinary(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.Write(Event{Proc: program.ProcID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 10 {
+		t.Errorf("Len = %d, want 10", tr.Len())
+	}
+}
+
+func TestReaderHandlesCountedTraces(t *testing.T) {
+	tr := &Trace{Events: []Event{{Proc: 1}, {Proc: 2}}}
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Errorf("Len = %d", got.Len())
+	}
+}
+
+func TestStreamTruncationMidEvent(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Event{Proc: 300, Extent: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(raw[:len(raw)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Errorf("truncated mid-event: %v, want a real error", err)
+	}
+}
+
+// Property: streamed writes round trip through the incremental reader.
+func TestStreamRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(100)
+		events := make([]Event, n)
+		for i := range events {
+			events[i] = Event{
+				Proc:   program.ProcID(rng.Intn(1000)),
+				Extent: int32(rng.Intn(1 << 16)),
+				Repeat: int32(rng.Intn(100)),
+			}
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, e := range events {
+			if w.Write(e) != nil {
+				return false
+			}
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for _, want := range events {
+			got, err := r.Next()
+			if err != nil || got != want {
+				return false
+			}
+		}
+		_, err = r.Next()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

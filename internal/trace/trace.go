@@ -1,0 +1,166 @@
+// Package trace models procedure-level execution traces: the profile input
+// that drives WCG and TRG construction and the reference stream consumed by
+// the instruction-cache simulator.
+//
+// A trace is a sequence of procedure activations. Each activation records
+// which procedure ran, how many bytes of it executed from its entry point
+// (the extent), and how many times that extent was iterated before control
+// left the procedure (the repeat count, modelling loops that stay within the
+// procedure body). The paper processed raw instruction traces collected with
+// ATOM; activations with extents and repeats are the compact equivalent at
+// the granularity the placement algorithms care about — they preserve the
+// interleaving of code blocks and the volume of fetches while remaining
+// storable and replayable at laptop scale.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/program"
+)
+
+// Event is a single procedure activation.
+type Event struct {
+	// Proc is the procedure that gained control.
+	Proc program.ProcID
+	// Extent is the number of bytes executed from the procedure entry.
+	// Zero means the full procedure size.
+	Extent int32
+	// Repeat is how many times the extent executed before control left
+	// the procedure. Zero means one.
+	Repeat int32
+}
+
+// Trace is an in-memory sequence of activations.
+type Trace struct {
+	Events []Event
+}
+
+// Append adds an activation to the trace.
+func (t *Trace) Append(e Event) { t.Events = append(t.Events, e) }
+
+// Len returns the number of activations.
+func (t *Trace) Len() int { return len(t.Events) }
+
+// extentOf returns the effective extent in bytes of event e for prog,
+// clamped to the procedure size.
+func extentOf(prog *program.Program, e Event) int {
+	size := prog.Size(e.Proc)
+	ext := int(e.Extent)
+	if ext <= 0 || ext > size {
+		return size
+	}
+	return ext
+}
+
+// repeatOf returns the effective repeat count of event e.
+func repeatOf(e Event) int {
+	if e.Repeat <= 0 {
+		return 1
+	}
+	return int(e.Repeat)
+}
+
+// ExtentBytes returns the effective executed byte count of e: its extent,
+// clamped to the procedure size, with 0 meaning the full procedure.
+func (e Event) ExtentBytes(prog *program.Program) int { return extentOf(prog, e) }
+
+// Repeats returns the effective repeat count of e (at least 1).
+func (e Event) Repeats() int { return repeatOf(e) }
+
+// Validate checks that every event references a procedure of prog and that
+// extents do not exceed procedure sizes.
+func (t *Trace) Validate(prog *program.Program) error {
+	for i, e := range t.Events {
+		if e.Proc < 0 || int(e.Proc) >= prog.NumProcs() {
+			return fmt.Errorf("trace: event %d references invalid procedure %d", i, e.Proc)
+		}
+		if int(e.Extent) > prog.Size(e.Proc) {
+			return fmt.Errorf("trace: event %d extent %d exceeds size %d of %q",
+				i, e.Extent, prog.Size(e.Proc), prog.Name(e.Proc))
+		}
+		if e.Extent < 0 || e.Repeat < 0 {
+			return fmt.Errorf("trace: event %d has negative extent/repeat", i)
+		}
+	}
+	return nil
+}
+
+// LineRefs replays the trace as a stream of cache-line references at the
+// given line size, invoking fn for each reference with the procedure and the
+// line index within the procedure (line 0 covers bytes [0,lineSize)).
+// Repeats re-touch the same lines, adding fetch volume without new footprint.
+func (t *Trace) LineRefs(prog *program.Program, lineSize int, fn func(p program.ProcID, line int)) {
+	for _, e := range t.Events {
+		lines := program.CeilDiv(extentOf(prog, e), lineSize)
+		for r := repeatOf(e); r > 0; r-- {
+			for ln := 0; ln < lines; ln++ {
+				fn(e.Proc, ln)
+			}
+		}
+	}
+}
+
+// NumLineRefs returns the total number of line references LineRefs would
+// emit for the given line size.
+func (t *Trace) NumLineRefs(prog *program.Program, lineSize int) int64 {
+	var total int64
+	for _, e := range t.Events {
+		lines := program.CeilDiv(extentOf(prog, e), lineSize)
+		total += int64(lines) * int64(repeatOf(e))
+	}
+	return total
+}
+
+// ProcRefs replays the trace at whole-procedure granularity: one reference
+// per activation, in trace order. This is the code-block stream for
+// TRG_select and for WCG transition counting.
+func (t *Trace) ProcRefs(fn func(p program.ProcID)) {
+	for _, e := range t.Events {
+		fn(e.Proc)
+	}
+}
+
+// ChunkRefs replays the trace at chunk granularity: for each activation, the
+// chunks covering the extent are referenced once each, in address order.
+// This is the code-block stream for TRG_place. Repeats do not re-emit
+// chunks: a repeat re-executes code already in Q's most recent positions and
+// adds no interleaving information.
+func (t *Trace) ChunkRefs(prog *program.Program, ch *program.Chunker, fn func(c program.ChunkID)) {
+	for _, e := range t.Events {
+		ext := extentOf(prog, e)
+		n := program.CeilDiv(ext, ch.ChunkSize())
+		first := ch.FirstChunk(e.Proc)
+		for i := 0; i < n; i++ {
+			fn(first + program.ChunkID(i))
+		}
+	}
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Events      int
+	LineRefs    int64
+	UniqueProcs int
+	// PerProc[p] is the number of activations of procedure p.
+	PerProc []int64
+}
+
+// ComputeStats gathers summary statistics for the trace against prog at the
+// given cache line size.
+func (t *Trace) ComputeStats(prog *program.Program, lineSize int) Stats {
+	s := Stats{
+		Events:  len(t.Events),
+		PerProc: make([]int64, prog.NumProcs()),
+	}
+	for _, e := range t.Events {
+		s.PerProc[e.Proc]++
+	}
+	for _, c := range s.PerProc {
+		if c > 0 {
+			s.UniqueProcs++
+		}
+	}
+	s.LineRefs = t.NumLineRefs(prog, lineSize)
+	return s
+}

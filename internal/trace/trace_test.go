@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/program"
+)
+
+func testProg(t *testing.T) *program.Program {
+	t.Helper()
+	return program.MustNew([]program.Procedure{
+		{Name: "M", Size: 96},
+		{Name: "X", Size: 64},
+		{Name: "Y", Size: 32},
+		{Name: "Z", Size: 700},
+	})
+}
+
+func TestValidate(t *testing.T) {
+	prog := testProg(t)
+	good := &Trace{Events: []Event{{Proc: 0}, {Proc: 3, Extent: 700, Repeat: 4}}}
+	if err := good.Validate(prog); err != nil {
+		t.Errorf("Validate(good): %v", err)
+	}
+	bad := []Trace{
+		{Events: []Event{{Proc: 9}}},
+		{Events: []Event{{Proc: -2}}},
+		{Events: []Event{{Proc: 1, Extent: 65}}},
+		{Events: []Event{{Proc: 1, Extent: -1}}},
+		{Events: []Event{{Proc: 1, Repeat: -1}}},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(prog); err == nil {
+			t.Errorf("Validate(bad[%d]) passed, want error", i)
+		}
+	}
+}
+
+func TestLineRefsFullExtent(t *testing.T) {
+	prog := testProg(t)
+	tr := MustFromNames(prog, "M", "X")
+	var got []int
+	tr.LineRefs(prog, 32, func(p program.ProcID, line int) {
+		got = append(got, int(p)*100+line)
+	})
+	// M is 96 bytes = 3 lines; X is 64 bytes = 2 lines.
+	want := []int{0, 1, 2, 100, 101}
+	if len(got) != len(want) {
+		t.Fatalf("refs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("refs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLineRefsExtentAndRepeat(t *testing.T) {
+	prog := testProg(t)
+	tr := &Trace{Events: []Event{{Proc: 3, Extent: 40, Repeat: 3}}}
+	count := 0
+	tr.LineRefs(prog, 32, func(p program.ProcID, line int) {
+		if p != 3 || line > 1 {
+			t.Errorf("unexpected ref p=%d line=%d", p, line)
+		}
+		count++
+	})
+	// 40 bytes = 2 lines, repeated 3 times.
+	if count != 6 {
+		t.Errorf("ref count = %d, want 6", count)
+	}
+	if n := tr.NumLineRefs(prog, 32); n != 6 {
+		t.Errorf("NumLineRefs = %d, want 6", n)
+	}
+}
+
+func TestProcRefs(t *testing.T) {
+	prog := testProg(t)
+	tr := MustFromNames(prog, "M", "X", "M", "Y")
+	var got []program.ProcID
+	tr.ProcRefs(func(p program.ProcID) { got = append(got, p) })
+	want := []program.ProcID{0, 1, 0, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ProcRefs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestChunkRefs(t *testing.T) {
+	prog := testProg(t)
+	ch := program.MustNewChunker(prog, 256)
+	// Z (proc 3) is 700 bytes = 3 chunks. Extent 300 covers 2 chunks.
+	tr := &Trace{Events: []Event{
+		{Proc: 0},              // M: 1 chunk
+		{Proc: 3, Extent: 300}, // Z: chunks 0,1
+		{Proc: 3},              // Z full: chunks 0,1,2
+	}}
+	var got []program.ChunkID
+	tr.ChunkRefs(prog, ch, func(c program.ChunkID) { got = append(got, c) })
+	zFirst := ch.FirstChunk(3)
+	want := []program.ChunkID{ch.FirstChunk(0), zFirst, zFirst + 1, zFirst, zFirst + 1, zFirst + 2}
+	if len(got) != len(want) {
+		t.Fatalf("ChunkRefs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ChunkRefs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	prog := testProg(t)
+	tr := MustFromNames(prog, "M", "X", "M")
+	s := tr.ComputeStats(prog, 32)
+	if s.Events != 3 || s.UniqueProcs != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.PerProc[0] != 2 || s.PerProc[1] != 1 {
+		t.Errorf("PerProc = %v", s.PerProc)
+	}
+	// M twice (3 lines each) + X once (2 lines) = 8.
+	if s.LineRefs != 8 {
+		t.Errorf("LineRefs = %d, want 8", s.LineRefs)
+	}
+}

@@ -1,0 +1,280 @@
+// Package tracegen synthesizes benchmark programs and execution traces.
+//
+// The paper evaluates on five SPECint95 programs plus ghostscript, profiled
+// with ATOM on real inputs. Neither the 1997 binaries nor the instruction
+// traces are available here, so this package builds the closest synthetic
+// equivalent: for each benchmark it generates a program whose static
+// statistics match Table 1 (total text size, procedure count, popular-set
+// size and count) and a stochastic call-structure model which, when
+// interpreted, produces procedure-activation traces with the properties the
+// placement algorithms care about — caller/callee alternation, sibling
+// interleaving inside loops (the Figure 1 phenomenon), phase behaviour, and
+// working sets larger than the instruction cache. Distinct inputs (train vs
+// test) are distinct random modulations of the same model, mirroring how
+// different program inputs exercise the same code differently.
+package tracegen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/program"
+)
+
+// Config describes a synthetic benchmark program.
+type Config struct {
+	// Name identifies the benchmark (e.g. "gcc").
+	Name string
+	// Seed drives program synthesis; the same seed always yields the same
+	// program and call-structure model.
+	Seed int64
+	// NumProcs is the total number of procedures.
+	NumProcs int
+	// TotalBytes is the target total text size.
+	TotalBytes int
+	// HotProcs is the number of frequently executed procedures.
+	HotProcs int
+	// HotBytes is the target total size of the hot procedures.
+	HotBytes int
+	// Drivers is the number of top-level loop procedures that phases
+	// alternate between. Default max(4, HotProcs/12).
+	Drivers int
+	// Phases is the number of execution phases per run. Default 4.
+	Phases int
+	// MaxDepth bounds the synthetic call tree depth. Default 5.
+	MaxDepth int
+}
+
+func (c *Config) setDefaults() {
+	if c.Drivers == 0 {
+		c.Drivers = c.HotProcs / 12
+		if c.Drivers < 4 {
+			c.Drivers = 4
+		}
+		if c.Drivers > c.HotProcs {
+			c.Drivers = c.HotProcs
+		}
+	}
+	if c.Phases == 0 {
+		// Visit every driver about twice per run so the training input
+		// exercises all of the program's major loops.
+		c.Phases = 2 * c.Drivers
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 5
+	}
+}
+
+// site is one call site within a procedure body: a loop that alternates
+// among candidate callees.
+type site struct {
+	callees []program.ProcID
+	// meanIters is the average number of loop iterations when the site
+	// executes.
+	meanIters int
+	// prob is the probability that the site executes at all in a given
+	// activation.
+	prob float64
+}
+
+// procModel is the dynamic behaviour of one procedure.
+type procModel struct {
+	sites []site
+	// hot procedures execute most of their body; cold ones a prologue.
+	extentFrac float64
+	// meanRepeat models intra-procedure looping over the executed extent.
+	meanRepeat int
+}
+
+// Benchmark couples a synthetic program with its behaviour model.
+type Benchmark struct {
+	Name string
+	Prog *program.Program
+	cfg  Config
+	// hot lists the hot procedure IDs; drivers are hot[0:cfg.Drivers].
+	hot    []program.ProcID
+	cold   []program.ProcID
+	models []procModel
+	// phasePerm is a model-fixed rotation of drivers: every input visits
+	// the program's major loops in the same characteristic order, and
+	// inputs differ in dwell time, secondary drivers, and callee biases —
+	// the way two inputs to the same binary actually differ.
+	phasePerm []int
+}
+
+// New synthesizes a benchmark from cfg. Synthesis is deterministic in
+// cfg.Seed.
+func New(cfg Config) (*Benchmark, error) {
+	cfg.setDefaults()
+	if cfg.NumProcs <= 0 || cfg.HotProcs <= 0 || cfg.HotProcs > cfg.NumProcs {
+		return nil, fmt.Errorf("tracegen: bad procedure counts %+v", cfg)
+	}
+	if cfg.HotBytes <= 0 || cfg.TotalBytes < cfg.HotBytes {
+		return nil, fmt.Errorf("tracegen: bad byte budgets %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	b := &Benchmark{Name: cfg.Name, cfg: cfg}
+
+	// --- Procedure sizes -------------------------------------------------
+	hotSizes := sizeDistribution(rng, cfg.HotProcs, cfg.HotBytes)
+	coldSizes := sizeDistribution(rng, cfg.NumProcs-cfg.HotProcs, cfg.TotalBytes-cfg.HotBytes)
+
+	// Interleave hot procedures among cold ones in link order, as source
+	// order scatters hot code through real executables.
+	procs := make([]program.Procedure, 0, cfg.NumProcs)
+	hotIdx, coldIdx := 0, 0
+	hotEvery := cfg.NumProcs / cfg.HotProcs
+	if hotEvery < 1 {
+		hotEvery = 1
+	}
+	var hotIDs, coldIDs []program.ProcID
+	for i := 0; i < cfg.NumProcs; i++ {
+		id := program.ProcID(i)
+		if hotIdx < cfg.HotProcs && (i%hotEvery == hotEvery-1 || cfg.NumProcs-i <= cfg.HotProcs-hotIdx) {
+			procs = append(procs, program.Procedure{
+				Name: fmt.Sprintf("%s_hot%03d", cfg.Name, hotIdx),
+				Size: hotSizes[hotIdx],
+			})
+			hotIDs = append(hotIDs, id)
+			hotIdx++
+		} else {
+			procs = append(procs, program.Procedure{
+				Name: fmt.Sprintf("%s_fn%04d", cfg.Name, coldIdx),
+				Size: coldSizes[coldIdx],
+			})
+			coldIDs = append(coldIDs, id)
+			coldIdx++
+		}
+	}
+	prog, err := program.New(procs)
+	if err != nil {
+		return nil, err
+	}
+	b.Prog = prog
+	b.hot = hotIDs
+	b.cold = coldIDs
+
+	// --- Call structure --------------------------------------------------
+	// Hot procedures are organized into "modules": contiguous runs of the
+	// hot list. Drivers (the first Drivers hot procedures) loop over
+	// callees largely within their module, with occasional cross-module
+	// utility calls — this produces both tight sibling interleaving (which
+	// a TRG captures) and long-range temporal relationships (which a WCG
+	// misses).
+	b.models = make([]procModel, cfg.NumProcs)
+	for i := range b.models {
+		b.models[i] = procModel{extentFrac: 0.2 + 0.25*rng.Float64(), meanRepeat: 1}
+	}
+
+	for d := 0; d < cfg.Drivers; d++ {
+		driver := hotIDs[d]
+		m := &b.models[driver]
+		m.extentFrac = 0.25 + 0.3*rng.Float64()
+		nSites := 2 + rng.Intn(3)
+		for s := 0; s < nSites; s++ {
+			m.sites = append(m.sites, b.randomSite(rng, d))
+		}
+	}
+	// Non-driver hot procedures get shallower structure but loop hard over
+	// their executed extent, giving the high reuse that makes conflict
+	// misses (rather than cold/capacity misses) the dominant effect.
+	for h := cfg.Drivers; h < len(hotIDs); h++ {
+		m := &b.models[hotIDs[h]]
+		m.extentFrac = 0.25 + 0.45*rng.Float64()
+		m.meanRepeat = 2 + rng.Intn(4)
+		if rng.Float64() < 0.5 {
+			nSites := 1 + rng.Intn(2)
+			for s := 0; s < nSites; s++ {
+				m.sites = append(m.sites, b.randomSite(rng, h%cfg.Drivers))
+			}
+		}
+	}
+
+	b.phasePerm = rng.Perm(cfg.Drivers)
+	return b, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Benchmark {
+	b, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// randomSite builds a call site for a procedure in module mod.
+func (b *Benchmark) randomSite(rng *rand.Rand, mod int) site {
+	cfg := b.cfg
+	nonDrivers := b.hot[cfg.Drivers:]
+	s := site{
+		meanIters: 3 + rng.Intn(8),
+		prob:      0.4 + 0.6*rng.Float64(),
+	}
+	nCallees := 1 + rng.Intn(3)
+	for c := 0; c < nCallees; c++ {
+		var callee program.ProcID
+		switch {
+		case len(nonDrivers) == 0 || rng.Float64() < 0.02:
+			// Rare cold callee: keeps the cold set warm in the profile.
+			callee = b.cold[rng.Intn(len(b.cold))]
+		case rng.Float64() < 0.88:
+			// Within-module callee: indices near mod's slice of the
+			// non-driver hot procedures.
+			per := (len(nonDrivers) + cfg.Drivers - 1) / cfg.Drivers
+			lo := mod * per
+			if lo >= len(nonDrivers) {
+				lo = len(nonDrivers) - 1
+			}
+			span := per
+			if span < 1 {
+				span = 1
+			}
+			idx := lo + rng.Intn(span)
+			if idx >= len(nonDrivers) {
+				idx = len(nonDrivers) - 1
+			}
+			callee = nonDrivers[idx]
+		default:
+			// Cross-module utility callee.
+			callee = nonDrivers[rng.Intn(len(nonDrivers))]
+		}
+		s.callees = append(s.callees, callee)
+	}
+	return s
+}
+
+// sizeDistribution draws n positive sizes from a lognormal-ish distribution
+// and rescales them to sum (approximately) to total. Sizes are multiples of
+// 4 bytes and at least 16.
+func sizeDistribution(rng *rand.Rand, n, total int) []int {
+	if n == 0 {
+		return nil
+	}
+	raw := make([]float64, n)
+	var sum float64
+	for i := range raw {
+		raw[i] = math.Exp(0.8 * rng.NormFloat64())
+		sum += raw[i]
+	}
+	sizes := make([]int, n)
+	got := 0
+	for i := range raw {
+		s := int(raw[i] / sum * float64(total))
+		s = s / 4 * 4
+		if s < 16 {
+			s = 16
+		}
+		sizes[i] = s
+		got += s
+	}
+	// Distribute the rounding remainder over the largest entries.
+	rem := total - got
+	for i := 0; rem >= 4 && i < n; i = (i + 1) % n {
+		sizes[i] += 4
+		rem -= 4
+	}
+	return sizes
+}

@@ -1,0 +1,197 @@
+package tracegen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// Input identifies one run of a benchmark: an input data set in the paper's
+// terminology. Different inputs modulate the same program model with
+// different random biases and phase schedules, which is how two inputs for
+// the same binary exercise the same procedures with different frequencies
+// and orderings.
+type Input struct {
+	// Name labels the input (e.g. "recog.i" or "train").
+	Name string
+	// Seed drives the run; the same (benchmark, Input) pair always yields
+	// the same trace.
+	Seed int64
+	// Events is the approximate number of activation events to generate.
+	Events int
+	// Bias is the lognormal σ applied per-procedure to callee-selection
+	// weights for this input. Zero means unbiased; around 0.8 produces
+	// usefully different train/test behaviour. Larger values model inputs
+	// that exercise very different program paths (Section 5.3's dcrand vs
+	// dhry pathology).
+	Bias float64
+}
+
+// runState carries one trace generation.
+type runState struct {
+	b      *Benchmark
+	rng    *rand.Rand
+	tr     *trace.Trace
+	budget int
+	// bias[p] multiplies the probability of selecting p as a callee.
+	bias []float64
+	// phaseW[d] weights driver d in the current phase.
+	phaseW []float64
+}
+
+// Trace interprets the benchmark model under the given input.
+func (b *Benchmark) Trace(in Input) *trace.Trace {
+	if in.Events <= 0 {
+		in.Events = 100_000
+	}
+	st := &runState{
+		b:      b,
+		rng:    rand.New(rand.NewSource(in.Seed ^ b.cfg.Seed<<1)),
+		tr:     &trace.Trace{},
+		budget: in.Events,
+		bias:   make([]float64, b.Prog.NumProcs()),
+	}
+	for i := range st.bias {
+		if in.Bias > 0 {
+			st.bias[i] = math.Exp(in.Bias * st.rng.NormFloat64())
+		} else {
+			st.bias[i] = 1
+		}
+	}
+
+	phases := b.cfg.Phases
+	perPhase := in.Events / phases
+	if perPhase < 1 {
+		perPhase = in.Events
+		phases = 1
+	}
+	for ph := 0; ph < phases && st.budget > 0; ph++ {
+		// Each phase dwells on one primary driver — the program's major
+		// loops run in a characteristic model-fixed order — plus an
+		// input-chosen secondary driver. The per-phase working set is a
+		// few times the cache size, so conflict misses (not capacity
+		// misses) dominate, and train/test inputs share the qualitative
+		// phase structure while differing in pairings and biases.
+		st.phaseW = make([]float64, b.cfg.Drivers)
+		for d := range st.phaseW {
+			st.phaseW[d] = 0.02
+		}
+		st.phaseW[b.phasePerm[ph%b.cfg.Drivers]] += 2 + st.rng.Float64()
+		if st.rng.Float64() < 0.6 {
+			// The secondary driver is mostly structural (the next major
+			// loop in the model's characteristic order); inputs
+			// occasionally deviate.
+			sec := b.phasePerm[(ph+1)%b.cfg.Drivers]
+			if st.rng.Float64() < 0.25 {
+				sec = st.rng.Intn(b.cfg.Drivers)
+			}
+			st.phaseW[sec] += 0.5 + st.rng.Float64()
+		}
+		phaseBudget := st.budget - (phases-1-ph)*perPhase
+		if ph < phases-1 {
+			phaseBudget = perPhase
+		}
+		target := st.budget - phaseBudget
+		for st.budget > target && st.budget > 0 {
+			d := st.pickDriver()
+			st.exec(b.hot[d], 0)
+		}
+	}
+	return st.tr
+}
+
+func (st *runState) pickDriver() int {
+	var sum float64
+	for d, w := range st.phaseW {
+		sum += w * st.bias[st.b.hot[d]]
+	}
+	x := st.rng.Float64() * sum
+	for d, w := range st.phaseW {
+		x -= w * st.bias[st.b.hot[d]]
+		if x <= 0 {
+			return d
+		}
+	}
+	return len(st.phaseW) - 1
+}
+
+// exec simulates one activation of p: the entry extent executes, then each
+// call site loops over biased callee choices with a continuation event after
+// every return.
+func (st *runState) exec(p program.ProcID, depth int) {
+	if st.budget <= 0 {
+		return
+	}
+	m := &st.b.models[p]
+	size := st.b.Prog.Size(p)
+	extent := int32(float64(size) * m.extentFrac)
+	if extent < 16 {
+		extent = int32(minInt(size, 16))
+	}
+	repeat := int32(1)
+	if m.meanRepeat > 1 {
+		repeat = int32(1 + st.rng.Intn(2*m.meanRepeat-1))
+	}
+	st.emit(trace.Event{Proc: p, Extent: extent, Repeat: repeat})
+
+	if depth >= st.b.cfg.MaxDepth {
+		return
+	}
+	for si := range m.sites {
+		s := &m.sites[si]
+		if st.rng.Float64() > s.prob {
+			continue
+		}
+		iters := 1 + st.rng.Intn(2*s.meanIters-1)
+		for it := 0; it < iters && st.budget > 0; it++ {
+			callee := st.pickCallee(s)
+			st.exec(callee, depth+1)
+			// Continuation: control returns to p, touching its entry
+			// region (call/return glue).
+			cont := extent / 4
+			if cont < 16 {
+				cont = int32(minInt(size, 16))
+			}
+			st.emit(trace.Event{Proc: p, Extent: cont})
+		}
+	}
+}
+
+func (st *runState) pickCallee(s *site) program.ProcID {
+	if len(s.callees) == 1 {
+		return s.callees[0]
+	}
+	var sum float64
+	for _, c := range s.callees {
+		sum += st.bias[c]
+	}
+	x := st.rng.Float64() * sum
+	for _, c := range s.callees {
+		x -= st.bias[c]
+		if x <= 0 {
+			return c
+		}
+	}
+	return s.callees[len(s.callees)-1]
+}
+
+func (st *runState) emit(e trace.Event) {
+	st.tr.Append(e)
+	st.budget--
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

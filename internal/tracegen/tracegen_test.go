@@ -1,0 +1,163 @@
+package tracegen
+
+import (
+	"testing"
+
+	"repro/internal/popular"
+	"repro/internal/program"
+)
+
+func smallConfig() Config {
+	return Config{
+		Name: "test", Seed: 42,
+		NumProcs: 100, TotalBytes: 200 * 1024,
+		HotProcs: 20, HotBytes: 40 * 1024,
+		Drivers: 4,
+	}
+}
+
+func TestNewMatchesStaticBudgets(t *testing.T) {
+	b := MustNew(smallConfig())
+	if got := b.Prog.NumProcs(); got != 100 {
+		t.Errorf("NumProcs = %d, want 100", got)
+	}
+	total := b.Prog.TotalSize()
+	if ratio := float64(total) / float64(200*1024); ratio < 0.95 || ratio > 1.1 {
+		t.Errorf("total size %d not within 10%% of 200K budget", total)
+	}
+	var hotTotal int
+	for _, h := range b.hot {
+		hotTotal += b.Prog.Size(h)
+	}
+	if ratio := float64(hotTotal) / float64(40*1024); ratio < 0.9 || ratio > 1.2 {
+		t.Errorf("hot size %d not near 40K budget", hotTotal)
+	}
+	if len(b.hot) != 20 {
+		t.Errorf("hot count = %d, want 20", len(b.hot))
+	}
+}
+
+func TestNewRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{NumProcs: 0, HotProcs: 1, TotalBytes: 100, HotBytes: 10},
+		{NumProcs: 10, HotProcs: 20, TotalBytes: 100, HotBytes: 10},
+		{NumProcs: 10, HotProcs: 2, TotalBytes: 100, HotBytes: 200},
+		{NumProcs: 10, HotProcs: 2, TotalBytes: 100, HotBytes: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestSynthesisDeterministic(t *testing.T) {
+	a := MustNew(smallConfig())
+	b := MustNew(smallConfig())
+	for i := 0; i < a.Prog.NumProcs(); i++ {
+		if a.Prog.Size(program.ProcID(i)) != b.Prog.Size(program.ProcID(i)) {
+			t.Fatal("same seed produced different programs")
+		}
+	}
+	ta := a.Trace(Input{Seed: 5, Events: 5000})
+	tb := b.Trace(Input{Seed: 5, Events: 5000})
+	if ta.Len() != tb.Len() {
+		t.Fatalf("trace lengths differ: %d vs %d", ta.Len(), tb.Len())
+	}
+	for i := range ta.Events {
+		if ta.Events[i] != tb.Events[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+}
+
+func TestTraceIsValidAndSized(t *testing.T) {
+	b := MustNew(smallConfig())
+	tr := b.Trace(Input{Seed: 9, Events: 20_000})
+	if err := tr.Validate(b.Prog); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() < 18_000 || tr.Len() > 22_000 {
+		t.Errorf("trace length %d not near requested 20000", tr.Len())
+	}
+}
+
+func TestDifferentInputsProduceDifferentProfiles(t *testing.T) {
+	b := MustNew(smallConfig())
+	t1 := b.Trace(Input{Seed: 1, Events: 20_000, Bias: 0.8})
+	t2 := b.Trace(Input{Seed: 2, Events: 20_000, Bias: 0.8})
+	c1 := t1.ComputeStats(b.Prog, 32).PerProc
+	c2 := t2.ComputeStats(b.Prog, 32).PerProc
+	diff := 0
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			diff++
+		}
+	}
+	if diff < 10 {
+		t.Errorf("only %d procedures differ between inputs; want substantially different profiles", diff)
+	}
+}
+
+func TestHotProceduresDominateProfile(t *testing.T) {
+	b := MustNew(smallConfig())
+	tr := b.Trace(Input{Seed: 3, Events: 30_000})
+	pop := popular.Select(b.Prog, tr, popular.Options{})
+	hotSet := map[program.ProcID]bool{}
+	for _, h := range b.hot {
+		hotSet[h] = true
+	}
+	// Most popular procedures should be from the designed hot set.
+	fromHot := 0
+	for _, p := range pop.IDs {
+		if hotSet[p] {
+			fromHot++
+		}
+	}
+	if frac := float64(fromHot) / float64(pop.Len()); frac < 0.8 {
+		t.Errorf("only %.0f%% of popular procedures are designed-hot", frac*100)
+	}
+}
+
+func TestSuiteMatchesTable1Statics(t *testing.T) {
+	want := []struct {
+		name            string
+		procs, hotprocs int
+		totalK, hotK    int
+	}{
+		{"gcc", 2005, 136, 2277, 351},
+		{"go", 3221, 112, 590, 134},
+		{"ghostscript", 372, 216, 1817, 104},
+		{"m88ksim", 460, 31, 549, 21},
+		{"perl", 271, 36, 664, 83},
+		{"vortex", 923, 156, 1073, 117},
+	}
+	pairs := Suite(0.05)
+	if len(pairs) != len(want) {
+		t.Fatalf("suite has %d benchmarks", len(pairs))
+	}
+	for i, w := range want {
+		b := pairs[i].Bench
+		if b.Name != w.name {
+			t.Errorf("bench %d = %s, want %s", i, b.Name, w.name)
+			continue
+		}
+		if b.Prog.NumProcs() != w.procs {
+			t.Errorf("%s: procs = %d, want %d", w.name, b.Prog.NumProcs(), w.procs)
+		}
+		if len(b.hot) != w.hotprocs {
+			t.Errorf("%s: hot procs = %d, want %d", w.name, len(b.hot), w.hotprocs)
+		}
+		total := b.Prog.TotalSize()
+		if r := float64(total) / float64(w.totalK*1024); r < 0.9 || r > 1.15 {
+			t.Errorf("%s: total %dK vs Table 1 %dK", w.name, total/1024, w.totalK)
+		}
+		var hotBytes int
+		for _, h := range b.hot {
+			hotBytes += b.Prog.Size(h)
+		}
+		if r := float64(hotBytes) / float64(w.hotK*1024); r < 0.85 || r > 1.25 {
+			t.Errorf("%s: hot bytes %dK vs Table 1 %dK", w.name, hotBytes/1024, w.hotK)
+		}
+	}
+}

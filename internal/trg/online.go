@@ -1,0 +1,123 @@
+package trg
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// Builder constructs TRGs incrementally, one activation at a time. This is
+// the online profiling mode of Section 4.4 ("instead of processing traces
+// we generate the TRGs during program execution using instrumentation
+// techniques"): an instrumented program calls Observe on every procedure
+// entry and return, and Result can be taken at any point — no trace is ever
+// materialized.
+type Builder struct {
+	prog    *program.Program
+	opts    Options
+	chunker *program.Chunker
+	keep    func(program.ProcID) bool
+
+	sel   *graph.Graph
+	place *graph.Graph
+	db    *PairDB // nil unless pair tracking enabled
+
+	qSel   *Queue
+	qPlace *Queue
+
+	qLenSum int64
+	qSteps  int64
+	events  int64
+}
+
+// NewBuilder creates an online TRG builder. Set trackPairs to also build
+// the Section 6 pair database (more expensive: O(k²) per activation in the
+// Q population k).
+func NewBuilder(prog *program.Program, opts Options, trackPairs bool) (*Builder, error) {
+	opts.setDefaults()
+	if opts.CacheBytes <= 0 || opts.QFactor <= 0 {
+		return nil, fmt.Errorf("trg: non-positive cache bytes/Q factor %+v", opts)
+	}
+	chunker, err := program.NewChunker(prog, opts.ChunkSize)
+	if err != nil {
+		return nil, err
+	}
+	bound := opts.CacheBytes * opts.QFactor
+	b := &Builder{
+		prog:    prog,
+		opts:    opts,
+		chunker: chunker,
+		keep: func(p program.ProcID) bool {
+			return opts.Popular == nil || opts.Popular.Contains(p)
+		},
+		sel:    graph.New(),
+		place:  graph.New(),
+		qSel:   NewQueue(bound),
+		qPlace: NewQueue(bound),
+	}
+	if trackPairs {
+		b.db = NewPairDB()
+	}
+	return b, nil
+}
+
+// Observe feeds one procedure activation into both TRGs (and the pair
+// database, when enabled).
+func (b *Builder) Observe(e trace.Event) {
+	p := e.Proc
+	if !b.keep(p) {
+		return
+	}
+	b.events++
+
+	// Procedure granularity → TRG_select. Q is charged with the executed
+	// extent, the activation's cache footprint.
+	id := BlockID(p)
+	b.sel.AddNode(id)
+	b.qSel.Touch(id, e.ExtentBytes(b.prog), func(between BlockID) {
+		b.sel.Increment(id, between)
+	})
+	b.qLenSum += int64(b.qSel.Len())
+	b.qSteps++
+
+	// Chunk granularity → TRG_place (+ pair database).
+	ext := e.ExtentBytes(b.prog)
+	n := program.CeilDiv(ext, b.chunker.ChunkSize())
+	first := b.chunker.FirstChunk(p)
+	for i := 0; i < n; i++ {
+		c := first + program.ChunkID(i)
+		cid := BlockID(c)
+		b.place.AddNode(cid)
+		inc := func(between BlockID) { b.place.Increment(cid, between) }
+		if b.db != nil {
+			b.qPlace.TouchPairs(cid, b.chunker.ChunkBytes(c), inc,
+				func(r, s BlockID) { b.db.Add(cid, r, s) })
+		} else {
+			b.qPlace.Touch(cid, b.chunker.ChunkBytes(c), inc)
+		}
+	}
+}
+
+// Events returns the number of activations observed (after popularity
+// filtering).
+func (b *Builder) Events() int64 { return b.events }
+
+// Result snapshots the graphs built so far. The returned Result shares
+// storage with the builder; do not Observe afterwards unless the snapshot
+// is no longer needed.
+func (b *Builder) Result() *Result {
+	res := &Result{
+		Select:  b.sel,
+		Place:   b.place,
+		Chunker: b.chunker,
+	}
+	if b.qSteps > 0 {
+		res.AvgQProcs = float64(b.qLenSum) / float64(b.qSteps)
+	}
+	return res
+}
+
+// Pairs returns the pair database, or nil if pair tracking was disabled.
+func (b *Builder) Pairs() *PairDB { return b.db }

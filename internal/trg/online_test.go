@@ -1,0 +1,148 @@
+package trg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// The online builder must produce exactly the graphs the batch Build does.
+func TestOnlineMatchesBatchProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 2
+		procs := make([]program.Procedure, n)
+		for i := range procs {
+			procs[i] = program.Procedure{Name: string(rune('a' + i)), Size: rng.Intn(900) + 1}
+		}
+		prog := program.MustNew(procs)
+		tr := &trace.Trace{}
+		for i := 0; i < 400; i++ {
+			p := program.ProcID(rng.Intn(n))
+			tr.Append(trace.Event{Proc: p, Extent: int32(rng.Intn(prog.Size(p)) + 1)})
+		}
+		opts := Options{CacheBytes: 512, ChunkSize: 128}
+
+		batch, err := Build(prog, tr, opts)
+		if err != nil {
+			return false
+		}
+		online, err := NewBuilder(prog, opts, false)
+		if err != nil {
+			return false
+		}
+		for _, e := range tr.Events {
+			online.Observe(e)
+		}
+		got := online.Result()
+
+		if got.AvgQProcs != batch.AvgQProcs {
+			return false
+		}
+		if len(got.Select.Edges()) != len(batch.Select.Edges()) ||
+			len(got.Place.Edges()) != len(batch.Place.Edges()) {
+			return false
+		}
+		for _, e := range batch.Select.Edges() {
+			if got.Select.Weight(e.U, e.V) != e.W {
+				return false
+			}
+		}
+		for _, e := range batch.Place.Edges() {
+			if got.Place.Weight(e.U, e.V) != e.W {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnlinePairsMatchBatch(t *testing.T) {
+	prog := program.MustNew([]program.Procedure{
+		{Name: "p", Size: 32},
+		{Name: "r", Size: 32},
+		{Name: "s", Size: 32},
+	})
+	tr := trace.MustFromNames(prog, "p", "r", "s", "p", "r", "p", "s", "p")
+	opts := Options{CacheBytes: 8192}
+
+	_, batchDB, err := BuildPairs(prog, tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBuilder(prog, opts, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tr.Events {
+		b.Observe(e)
+	}
+	onlineDB := b.Pairs()
+	if onlineDB.Len() != batchDB.Len() {
+		t.Fatalf("pair db sizes differ: %d vs %d", onlineDB.Len(), batchDB.Len())
+	}
+	for p := BlockID(0); p < 3; p++ {
+		for r := BlockID(0); r < 3; r++ {
+			for s := BlockID(0); s < 3; s++ {
+				if onlineDB.Count(p, r, s) != batchDB.Count(p, r, s) {
+					t.Errorf("D(%d,{%d,%d}) differs", p, r, s)
+				}
+			}
+		}
+	}
+}
+
+func TestBuilderEventsCountsFiltered(t *testing.T) {
+	prog := program.MustNew([]program.Procedure{
+		{Name: "a", Size: 32},
+		{Name: "b", Size: 32},
+	})
+	b, err := NewBuilder(prog, Options{CacheBytes: 1024}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Observe(trace.Event{Proc: 0})
+	b.Observe(trace.Event{Proc: 1})
+	b.Observe(trace.Event{Proc: 0})
+	if b.Events() != 3 {
+		t.Errorf("Events = %d, want 3", b.Events())
+	}
+}
+
+func TestBuilderRejectsBadOptions(t *testing.T) {
+	prog := program.MustNew([]program.Procedure{{Name: "a", Size: 32}})
+	if _, err := NewBuilder(prog, Options{CacheBytes: -1}, false); err == nil {
+		t.Error("NewBuilder accepted negative cache size")
+	}
+	if _, err := NewBuilder(prog, Options{ChunkSize: -1}, false); err == nil {
+		t.Error("NewBuilder accepted negative chunk size")
+	}
+}
+
+// Result can be snapshotted mid-stream; later observations extend it.
+func TestBuilderIncrementalSnapshots(t *testing.T) {
+	prog := program.MustNew([]program.Procedure{
+		{Name: "a", Size: 32},
+		{Name: "b", Size: 32},
+	})
+	b, err := NewBuilder(prog, Options{CacheBytes: 1024}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Observe(trace.Event{Proc: 0})
+	b.Observe(trace.Event{Proc: 1})
+	mid := b.Result()
+	if w := mid.Select.Weight(0, 1); w != 0 {
+		t.Errorf("premature edge weight %d", w)
+	}
+	b.Observe(trace.Event{Proc: 0}) // a...a with b between
+	if w := b.Result().Select.Weight(0, 1); w != 1 {
+		t.Errorf("edge weight after third event = %d, want 1", w)
+	}
+}

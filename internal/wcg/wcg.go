@@ -1,0 +1,54 @@
+// Package wcg builds the weighted call graph used by Pettis & Hansen style
+// placement and by HKC.
+//
+// Following Section 2 of the paper, the graph is undirected and the weight
+// W(e_p,q) is the total number of control-flow transitions between
+// procedures p and q in the trace — each call contributes a transition
+// caller→callee and (typically) a matching return callee→caller, so weights
+// are about twice those of a classic call-count WCG. The factor of two does
+// not change the placements PH produces.
+package wcg
+
+import (
+	"repro/internal/graph"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// Build constructs the transition-count WCG from a procedure-level trace.
+// Consecutive activations of the same procedure (e.g. a loop that re-enters
+// an already-running procedure representation) contribute no transition.
+func Build(tr *trace.Trace) *graph.Graph {
+	g := graph.New()
+	prev := program.NoProc
+	tr.ProcRefs(func(p program.ProcID) {
+		g.AddNode(graph.NodeID(p))
+		if prev != program.NoProc && prev != p {
+			g.Increment(graph.NodeID(prev), graph.NodeID(p))
+		}
+		prev = p
+	})
+	return g
+}
+
+// BuildFiltered constructs the WCG restricted to procedures for which keep
+// returns true. Transitions through filtered-out procedures connect the
+// surrounding kept procedures, mirroring how HKC and GBSC consider only
+// popular procedures: "it is possible to have the only connection between
+// two popular procedures be through an unpopular procedure" (Section 4.3) —
+// the filtered WCG preserves that connection.
+func BuildFiltered(tr *trace.Trace, keep func(program.ProcID) bool) *graph.Graph {
+	g := graph.New()
+	prev := program.NoProc
+	tr.ProcRefs(func(p program.ProcID) {
+		if !keep(p) {
+			return
+		}
+		g.AddNode(graph.NodeID(p))
+		if prev != program.NoProc && prev != p {
+			g.Increment(graph.NodeID(prev), graph.NodeID(p))
+		}
+		prev = p
+	})
+	return g
+}

@@ -1,0 +1,71 @@
+package wcg
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+func prog3(t *testing.T) *program.Program {
+	t.Helper()
+	return program.MustNew([]program.Procedure{
+		{Name: "a", Size: 32},
+		{Name: "b", Size: 32},
+		{Name: "c", Size: 32},
+	})
+}
+
+func TestBuildCountsTransitions(t *testing.T) {
+	p := prog3(t)
+	tr := trace.MustFromNames(p, "a", "b", "a", "c", "a")
+	g := Build(tr)
+	if w := g.Weight(0, 1); w != 2 {
+		t.Errorf("W(a,b) = %d, want 2 (call + return)", w)
+	}
+	if w := g.Weight(0, 2); w != 2 {
+		t.Errorf("W(a,c) = %d, want 2", w)
+	}
+	if w := g.Weight(1, 2); w != 0 {
+		t.Errorf("W(b,c) = %d, want 0", w)
+	}
+}
+
+func TestBuildIgnoresSelfTransitions(t *testing.T) {
+	p := prog3(t)
+	tr := trace.MustFromNames(p, "a", "a", "a", "b")
+	g := Build(tr)
+	if w := g.Weight(0, 0); w != 0 {
+		t.Errorf("self weight = %d", w)
+	}
+	if w := g.Weight(0, 1); w != 1 {
+		t.Errorf("W(a,b) = %d, want 1", w)
+	}
+}
+
+func TestBuildAddsIsolatedNodes(t *testing.T) {
+	p := prog3(t)
+	tr := trace.MustFromNames(p, "a")
+	g := Build(tr)
+	if !g.HasNode(0) {
+		t.Error("singleton trace produced no node")
+	}
+	if g.NumEdges() != 0 {
+		t.Error("singleton trace produced edges")
+	}
+}
+
+func TestBuildFilteredBridgesFilteredProcs(t *testing.T) {
+	p := prog3(t)
+	// a and c are popular; b is the unpopular bridge: a b c b a ...
+	tr := trace.MustFromNames(p, "a", "b", "c", "b", "a")
+	keep := func(id program.ProcID) bool { return id != 1 }
+	g := BuildFiltered(tr, keep)
+	if g.HasNode(graph.NodeID(1)) {
+		t.Error("filtered node present")
+	}
+	if w := g.Weight(0, 2); w != 2 {
+		t.Errorf("bridged W(a,c) = %d, want 2", w)
+	}
+}
