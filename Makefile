@@ -1,0 +1,30 @@
+# Development and CI entry points. `make ci` is the gate every change must
+# pass: vet, build, the full test suite under the race detector (the
+# experiment worker pool runs concurrently in several tests, so -race is
+# mandatory, not optional), and one iteration of every benchmark as a smoke
+# test of the measurement loop.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench experiments
+
+ci: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+# Regenerate the full paper evaluation (EXPERIMENTS.md numbers).
+experiments:
+	$(GO) run ./cmd/experiments -run all -scale 1.0 -runs 40

@@ -6,6 +6,7 @@
 //	experiments -run all
 //	experiments -run table1,figure5 -scale 1.0 -runs 40
 //	experiments -run figure6 -csv fig6.csv
+//	experiments -run all -parallel 1   # serial; output identical to parallel
 //
 // Available experiments: table1, figure5, figure6, padding, sameinput,
 // setassoc, ablations, all.
@@ -31,9 +32,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "randomization seed")
 	benches := flag.String("bench", "", "comma-separated benchmark filter (default all six)")
 	csvPath := flag.String("csv", "", "also write figure 6 points as CSV to this path")
+	parallel := flag.Int("parallel", 0, "experiment worker count (0 = one per CPU, 1 = serial); output is identical at every setting")
 	flag.Parse()
 
-	opts := experiments.Options{Scale: *scale, Runs: *runs, Seed: *seed}
+	opts := experiments.Options{Scale: *scale, Runs: *runs, Seed: *seed, Parallel: *parallel}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}

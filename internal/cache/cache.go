@@ -71,7 +71,16 @@ func (s *Stats) Add(other Stats) {
 // the line-granular memory address (address / LineBytes), which uniquely
 // identifies the cached content.
 type Sim struct {
-	cfg   Config
+	cfg Config
+	// lineBytes and numSets cache the per-access divisors so Access does
+	// not re-derive them from cfg on every reference.
+	lineBytes int64
+	numSets   int64
+	// dm is the direct-mapped fast path: when Assoc == 1 each set holds at
+	// most one line, so dm[s] is that line's tag (-1 when empty; line
+	// addresses are non-negative because layouts start at address 0) and
+	// the LRU machinery is skipped entirely.
+	dm    []int64
 	sets  [][]int64 // sets[s] is an LRU-ordered list (front = MRU) of line tags
 	stats Stats
 }
@@ -81,7 +90,19 @@ func NewSim(cfg Config) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Sim{cfg: cfg, sets: make([][]int64, cfg.NumSets())}
+	s := &Sim{
+		cfg:       cfg,
+		lineBytes: int64(cfg.LineBytes),
+		numSets:   int64(cfg.NumSets()),
+	}
+	if cfg.Assoc == 1 {
+		s.dm = make([]int64, s.numSets)
+		for i := range s.dm {
+			s.dm[i] = -1
+		}
+		return s, nil
+	}
+	s.sets = make([][]int64, s.numSets)
 	for i := range s.sets {
 		s.sets[i] = make([]int64, 0, cfg.Assoc)
 	}
@@ -102,6 +123,9 @@ func (s *Sim) Config() Config { return s.cfg }
 
 // Reset clears cache contents and statistics.
 func (s *Sim) Reset() {
+	for i := range s.dm {
+		s.dm[i] = -1
+	}
 	for i := range s.sets {
 		s.sets[i] = s.sets[i][:0]
 	}
@@ -111,10 +135,18 @@ func (s *Sim) Reset() {
 // Access references the line containing byte address addr, updating LRU
 // state and statistics. It reports whether the access hit.
 func (s *Sim) Access(addr int64) bool {
-	lineAddr := addr / int64(s.cfg.LineBytes)
-	setIdx := int(lineAddr % int64(s.cfg.NumSets()))
-	set := s.sets[setIdx]
+	lineAddr := addr / s.lineBytes
+	setIdx := int(lineAddr % s.numSets)
 	s.stats.Refs++
+	if s.dm != nil {
+		if s.dm[setIdx] == lineAddr {
+			return true
+		}
+		s.dm[setIdx] = lineAddr
+		s.stats.Misses++
+		return false
+	}
+	set := s.sets[setIdx]
 	for i, tag := range set {
 		if tag == lineAddr {
 			// Hit: move to MRU position.
@@ -137,19 +169,28 @@ func (s *Sim) Access(addr int64) bool {
 // Stats returns the accumulated statistics.
 func (s *Sim) Stats() Stats { return s.stats }
 
-// RunTrace replays tr (placed by layout) through a fresh simulation and
-// returns the resulting statistics. The layout supplies each procedure's
-// starting byte address; each activation fetches, in order, every cache
-// line covering its executed extent exactly once per repeat — the
-// reference stream a sequential instruction fetch would produce,
-// independent of how the procedure happens to be aligned.
-func RunTrace(cfg Config, layout *program.Layout, tr *trace.Trace) (Stats, error) {
-	sim, err := NewSim(cfg)
-	if err != nil {
-		return Stats{}, err
-	}
+// RunTrace resets the simulator and replays tr (placed by layout) through
+// it, returning the resulting statistics. The layout supplies each
+// procedure's starting byte address; each activation fetches, in order,
+// every cache line overlapping its placed extent [addr, addr+extent) once
+// per repeat — the reference stream a sequential instruction fetch would
+// produce.
+//
+// The reference count is therefore alignment-DEPENDENT: a procedure whose
+// start is not line-aligned can overlap ceil(extent/LineBytes)+1 lines, one
+// more than trace.NumLineRefs counts for the same activation. NumLineRefs
+// is the layout-independent footprint (the Table 1 "refs" columns, equal
+// for every placement of the same trace); RunTrace models the fetch stream
+// of one concrete placement, which is exactly the alignment sensitivity the
+// paper exploits. Divergence is at most one line per repeat per activation.
+//
+// The method form exists so hot loops (the perturbation sweeps) can reuse
+// one simulator's allocations across many layouts via Reset instead of
+// allocating a fresh simulator per measurement.
+func (s *Sim) RunTrace(layout *program.Layout, tr *trace.Trace) Stats {
+	s.Reset()
 	prog := layout.Program()
-	lb := int64(cfg.LineBytes)
+	lb := s.lineBytes
 	for _, e := range tr.Events {
 		base := int64(layout.Addr(e.Proc))
 		ext := int64(e.ExtentBytes(prog))
@@ -157,11 +198,23 @@ func RunTrace(cfg Config, layout *program.Layout, tr *trace.Trace) (Stats, error
 		last := (base + ext - 1) / lb
 		for r := e.Repeats(); r > 0; r-- {
 			for ln := first; ln <= last; ln++ {
-				sim.Access(ln * lb)
+				s.Access(ln * lb)
 			}
 		}
 	}
-	return sim.Stats(), nil
+	return s.stats
+}
+
+// RunTrace replays tr (placed by layout) through a fresh simulation and
+// returns the resulting statistics. See (*Sim).RunTrace for the reference
+// stream semantics (and its intentional divergence from trace.NumLineRefs
+// on unaligned procedure starts).
+func RunTrace(cfg Config, layout *program.Layout, tr *trace.Trace) (Stats, error) {
+	sim, err := NewSim(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	return sim.RunTrace(layout, tr), nil
 }
 
 // MissRate is a convenience wrapper around RunTrace returning only the miss

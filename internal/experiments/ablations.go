@@ -43,15 +43,25 @@ type AblationsResult struct {
 }
 
 // Ablations regenerates the design-choice ablations listed in DESIGN.md.
+// Each (benchmark, variant) cell is independent once the benchmark is
+// prepared, so the grid shards flat across workers; variants write distinct
+// fields of their row, keyed by cell index.
 func Ablations(opts Options) (*AblationsResult, error) {
 	opts.setDefaults()
-	res := &AblationsResult{}
-	for _, pair := range opts.suite() {
-		b, err := prepare(pair, opts.Cache)
-		if err != nil {
-			return nil, err
-		}
-		prog := pair.Bench.Prog
+	par := opts.parallelism()
+	pairs, benches, err := opts.prepareSuite(opts.Cache, par)
+	if err != nil {
+		return nil, err
+	}
+
+	const numVariants = 5
+	rows := make([]AblationRow, len(pairs))
+	for i, pair := range pairs {
+		rows[i].Name = pair.Bench.Name
+	}
+	err = forEach(par, len(pairs)*numVariants, func(i int) error {
+		bi, vi := i/numVariants, i%numVariants
+		b, prog := benches[bi], pairs[bi].Bench.Prog
 
 		gbscAt := func(o trg.Options) (float64, error) {
 			o.Popular = b.pop
@@ -69,36 +79,34 @@ func Ablations(opts Options) (*AblationsResult, error) {
 			return cache.MissRate(opts.Cache, l, b.test)
 		}
 
-		row := AblationRow{Name: pair.Bench.Name}
-		if row.Full, err = gbscAt(trg.Options{}); err != nil {
-			return nil, err
-		}
-		maxProc := 0
-		for _, pr := range prog.Procs {
-			if pr.Size > maxProc {
-				maxProc = pr.Size
+		var err error
+		switch vi {
+		case 0:
+			rows[bi].Full, err = gbscAt(trg.Options{})
+		case 1:
+			maxProc := 0
+			for _, pr := range prog.Procs {
+				if pr.Size > maxProc {
+					maxProc = pr.Size
+				}
+			}
+			rows[bi].NoChunking, err = gbscAt(trg.Options{ChunkSize: maxProc})
+		case 2:
+			rows[bi].QHalf, err = gbscAt(trg.Options{QFactor: 1})
+		case 3:
+			rows[bi].QDouble, err = gbscAt(trg.Options{QFactor: 4})
+		case 4:
+			var phTRG *program.Layout
+			if phTRG, err = baseline.PHLayout(prog, b.trgRes.Select); err == nil {
+				rows[bi].PHWithTRG, err = cache.MissRate(opts.Cache, phTRG, b.test)
 			}
 		}
-		if row.NoChunking, err = gbscAt(trg.Options{ChunkSize: maxProc}); err != nil {
-			return nil, err
-		}
-		if row.QHalf, err = gbscAt(trg.Options{QFactor: 1}); err != nil {
-			return nil, err
-		}
-		if row.QDouble, err = gbscAt(trg.Options{QFactor: 4}); err != nil {
-			return nil, err
-		}
-
-		phTRG, err := baseline.PHLayout(prog, b.trgRes.Select)
-		if err != nil {
-			return nil, err
-		}
-		if row.PHWithTRG, err = cache.MissRate(opts.Cache, phTRG, b.test); err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &AblationsResult{Rows: rows}, nil
 }
 
 // Render prints the ablation table.

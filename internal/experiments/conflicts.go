@@ -31,26 +31,31 @@ type ConflictsResult struct {
 // on each benchmark's testing trace.
 func Conflicts(opts Options) (*ConflictsResult, error) {
 	opts.setDefaults()
-	res := &ConflictsResult{}
-	for _, pair := range opts.suite() {
+	pairs, err := opts.suite()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ConflictRow, len(pairs))
+	err = forEach(opts.parallelism(), len(pairs), func(i int) error {
+		pair := pairs[i]
 		b, err := prepare(pair, opts.Cache)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prog := pair.Bench.Prog
 		row := ConflictRow{Name: pair.Bench.Name}
 
 		phl, err := baseline.PHLayout(prog, b.wcgFull)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		hkcl, err := baseline.HKC(prog, b.wcgPop, b.pop, opts.Cache)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		gbscl, err := core.Place(prog, b.trgRes, b.pop, opts.Cache)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		layouts := []struct {
@@ -65,13 +70,17 @@ func Conflicts(opts Options) (*ConflictsResult, error) {
 		for _, l := range layouts {
 			cs, err := cache.RunTraceClassified(opts.Cache, l.layout, b.test)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			*l.dst = cs
 		}
-		res.Rows = append(res.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &ConflictsResult{Rows: rows}, nil
 }
 
 // Render prints the per-class miss counts.

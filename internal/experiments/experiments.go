@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/graph"
@@ -32,6 +33,11 @@ type Options struct {
 	Seed int64
 	// Benchmarks restricts the suite by name; empty means all six.
 	Benchmarks []string
+	// Parallel is the worker count for the experiment grids: 0 (the
+	// default) uses one worker per CPU, 1 restores the serial path, and
+	// any larger value is used as given. Results are index-addressed, so
+	// rendered output is byte-identical at every setting.
+	Parallel int
 }
 
 func (o *Options) setDefaults() {
@@ -49,18 +55,50 @@ func (o *Options) setDefaults() {
 	}
 }
 
-func (o *Options) suite() []*tracegen.Pair {
+// suite resolves the benchmark filter against the generated suite. Unknown
+// names are an error rather than a silent omission: a typo in a -bench flag
+// must not quietly shrink the evaluated suite.
+func (o *Options) suite() ([]*tracegen.Pair, error) {
 	pairs := tracegen.Suite(o.Scale)
 	if len(o.Benchmarks) == 0 {
-		return pairs
+		return pairs, nil
 	}
 	var out []*tracegen.Pair
+	var unknown []string
 	for _, name := range o.Benchmarks {
 		if p := tracegen.Lookup(pairs, name); p != nil {
 			out = append(out, p)
+		} else {
+			unknown = append(unknown, name)
 		}
 	}
-	return out
+	if len(unknown) > 0 {
+		return nil, fmt.Errorf("experiments: unknown benchmarks: %s", strings.Join(unknown, ", "))
+	}
+	return out, nil
+}
+
+// prepareSuite resolves the filtered suite and prepares every benchmark,
+// fanning the (expensive) per-benchmark trace generation and graph builds
+// across par workers. benches[i] corresponds to pairs[i].
+func (o *Options) prepareSuite(cfg cache.Config, par int) (pairs []*tracegen.Pair, benches []*bench, err error) {
+	pairs, err = o.suite()
+	if err != nil {
+		return nil, nil, err
+	}
+	benches = make([]*bench, len(pairs))
+	err = forEach(par, len(pairs), func(i int) error {
+		b, err := prepare(pairs[i], cfg)
+		if err != nil {
+			return err
+		}
+		benches[i] = b
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return pairs, benches, nil
 }
 
 // bench is the fully prepared per-benchmark state shared by experiments.

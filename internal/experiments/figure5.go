@@ -46,39 +46,81 @@ type Figure5Result struct {
 	Benches []Figure5Bench
 }
 
+// figure5Algs is the fixed algorithm order of the paper's panels.
+var figure5Algs = []AlgorithmName{AlgPH, AlgHKC, AlgGBSC}
+
 // Figure5 regenerates the paper's Figure 5: the distribution of
 // instruction-cache miss rates under randomized profiles for PH, HKC and
 // GBSC on each benchmark.
+//
+// The benchmark × algorithm × run grid is sharded across Options.Parallel
+// workers. Every cell derives its RNG from (Seed, run) alone and writes
+// into an index-addressed slot, so the result — and the rendered output —
+// is byte-identical to the serial run regardless of scheduling.
 func Figure5(opts Options) (*Figure5Result, error) {
 	opts.setDefaults()
-	out := &Figure5Result{Runs: opts.Runs, Scale: opts.Scale}
-	for _, pair := range opts.suite() {
-		b, err := prepare(pair, opts.Cache)
-		if err != nil {
-			return nil, err
+	if err := opts.Cache.Validate(); err != nil {
+		return nil, err
+	}
+	par := opts.parallelism()
+	pairs, benches, err := opts.prepareSuite(opts.Cache, par)
+	if err != nil {
+		return nil, err
+	}
+
+	// Cell layout: per benchmark, per algorithm, run -1 (unperturbed)
+	// followed by runs 0..Runs-1.
+	perAlg := opts.Runs + 1
+	perBench := len(figure5Algs) * perAlg
+	unperturbed := make([][]float64, len(pairs))
+	rates := make([][][]float64, len(pairs))
+	for bi := range pairs {
+		unperturbed[bi] = make([]float64, len(figure5Algs))
+		rates[bi] = make([][]float64, len(figure5Algs))
+		for ai := range figure5Algs {
+			rates[bi][ai] = make([]float64, opts.Runs)
 		}
+	}
+
+	err = runParallel(par, len(pairs)*perBench,
+		func() *cache.Sim { return cache.MustNewSim(opts.Cache) },
+		func(sim *cache.Sim, i int) error {
+			bi, rest := i/perBench, i%perBench
+			ai, run := rest/perAlg, rest%perAlg-1
+			alg := figure5Algs[ai]
+			var rng *rand.Rand
+			if run >= 0 {
+				rng = rand.New(rand.NewSource(opts.Seed + int64(run)*7919))
+			}
+			mr, err := runAlgorithm(alg, benches[bi], opts.Cache, rng, sim)
+			if err != nil {
+				if run < 0 {
+					return fmt.Errorf("%s/%s unperturbed: %w", pairs[bi].Bench.Name, alg, err)
+				}
+				return fmt.Errorf("%s/%s run %d: %w", pairs[bi].Bench.Name, alg, run, err)
+			}
+			if run < 0 {
+				unperturbed[bi][ai] = mr
+			} else {
+				rates[bi][ai][run] = mr
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Figure5Result{Runs: opts.Runs, Scale: opts.Scale}
+	for bi, pair := range pairs {
 		fb := Figure5Bench{
 			Name:        pair.Bench.Name,
 			Sorted:      map[AlgorithmName][]float64{},
 			Unperturbed: map[AlgorithmName]float64{},
 		}
-		for _, alg := range []AlgorithmName{AlgPH, AlgHKC, AlgGBSC} {
-			mr, err := runAlgorithm(alg, b, opts.Cache, nil)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s unperturbed: %w", pair.Bench.Name, alg, err)
-			}
-			fb.Unperturbed[alg] = mr
-			rates := make([]float64, 0, opts.Runs)
-			for run := 0; run < opts.Runs; run++ {
-				rng := rand.New(rand.NewSource(opts.Seed + int64(run)*7919))
-				mr, err := runAlgorithm(alg, b, opts.Cache, rng)
-				if err != nil {
-					return nil, fmt.Errorf("%s/%s run %d: %w", pair.Bench.Name, alg, run, err)
-				}
-				rates = append(rates, mr)
-			}
-			sort.Float64s(rates)
-			fb.Sorted[alg] = rates
+		for ai, alg := range figure5Algs {
+			fb.Unperturbed[alg] = unperturbed[bi][ai]
+			sort.Float64s(rates[bi][ai])
+			fb.Sorted[alg] = rates[bi][ai]
 		}
 		out.Benches = append(out.Benches, fb)
 	}
@@ -87,7 +129,10 @@ func Figure5(opts Options) (*Figure5Result, error) {
 
 // runAlgorithm computes a placement with optionally perturbed profile data
 // (rng nil = unperturbed) and returns its miss rate on the testing trace.
-func runAlgorithm(alg AlgorithmName, b *bench, cfg cache.Config, rng *rand.Rand) (float64, error) {
+// A non-nil sim with a matching configuration is reused (via Reset) instead
+// of allocating a fresh simulator; workers pass their own simulator so no
+// state is shared across goroutines.
+func runAlgorithm(alg AlgorithmName, b *bench, cfg cache.Config, rng *rand.Rand, sim *cache.Sim) (float64, error) {
 	maybePerturb := func(g *graph.Graph) *graph.Graph {
 		if rng == nil {
 			return g
@@ -115,6 +160,9 @@ func runAlgorithm(alg AlgorithmName, b *bench, cfg cache.Config, rng *rand.Rand)
 	}
 	if err != nil {
 		return 0, err
+	}
+	if sim != nil && sim.Config() == cfg {
+		return sim.RunTrace(layout, b.test).MissRate(), nil
 	}
 	return cache.MissRate(cfg, layout, b.test)
 }

@@ -44,6 +44,9 @@ type Figure6Result struct {
 // conflate metric quality with train/test input divergence.
 func Figure6(opts Options) (*Figure6Result, error) {
 	opts.setDefaults()
+	if err := opts.Cache.Validate(); err != nil {
+		return nil, err
+	}
 	pair := tracegen.Lookup(tracegen.Suite(opts.Scale), "go")
 	if pair == nil {
 		return nil, fmt.Errorf("experiments: go benchmark missing from suite")
@@ -58,11 +61,17 @@ func Figure6(opts Options) (*Figure6Result, error) {
 		return nil, err
 	}
 
+	// The mutation stream is drawn serially from one RNG (each point's
+	// mutations depend on how many draws the previous points consumed), so
+	// the cheap randomization stays a sequential pre-pass; the expensive
+	// linearization + simulation of each layout then fans out across
+	// workers, each writing its index-addressed point.
 	rng := rand.New(rand.NewSource(opts.Seed))
 	const numPoints = 80
-	res := &Figure6Result{}
+	res := &Figure6Result{Points: make([]Figure6Point, numPoints)}
 	period := opts.Cache.NumLines()
-	for i := 0; i < numPoints; i++ {
+	mutations := make([][]place.Placed, numPoints)
+	for i := range mutations {
 		mutated := make([]place.Placed, len(items))
 		copy(mutated, items)
 		nMut := rng.Intn(51) // 0–50 procedures
@@ -70,19 +79,24 @@ func Figure6(opts Options) (*Figure6Result, error) {
 			idx := rng.Intn(len(mutated))
 			mutated[idx].Line = rng.Intn(period)
 		}
-		layout, err := core.Linearize(prog, mutated, b.pop, opts.Cache)
-		if err != nil {
-			return nil, err
-		}
-		mr, err := cache.MissRate(opts.Cache, layout, b.train)
-		if err != nil {
-			return nil, err
-		}
-		res.Points = append(res.Points, Figure6Point{
-			MissRate:  mr,
-			TRGMetric: metrics.TRGConflict(layout, b.trgRes.Place, b.trgRes.Chunker, opts.Cache),
-			WCGMetric: metrics.WCGConflict(layout, b.wcgFull, opts.Cache),
+		mutations[i] = mutated
+	}
+	err = runParallel(opts.parallelism(), numPoints,
+		func() *cache.Sim { return cache.MustNewSim(opts.Cache) },
+		func(sim *cache.Sim, i int) error {
+			layout, err := core.Linearize(prog, mutations[i], b.pop, opts.Cache)
+			if err != nil {
+				return err
+			}
+			res.Points[i] = Figure6Point{
+				MissRate:  sim.RunTrace(layout, b.train).MissRate(),
+				TRGMetric: metrics.TRGConflict(layout, b.trgRes.Place, b.trgRes.Chunker, opts.Cache),
+				WCGMetric: metrics.WCGConflict(layout, b.wcgFull, opts.Cache),
+			}
+			return nil
 		})
+	if err != nil {
+		return nil, err
 	}
 
 	mrs := make([]float64, len(res.Points))

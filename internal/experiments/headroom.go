@@ -33,25 +33,30 @@ type HeadroomResult struct {
 func Headroom(opts Options) (*HeadroomResult, error) {
 	opts.setDefaults()
 	const steps = 60_000
-	res := &HeadroomResult{Steps: steps}
-	for _, pair := range opts.suite() {
+	pairs, err := opts.suite()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]HeadroomRow, len(pairs))
+	err = forEach(opts.parallelism(), len(pairs), func(i int) error {
+		pair := pairs[i]
 		b, err := prepare(pair, opts.Cache)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prog := pair.Bench.Prog
 		row := HeadroomRow{Name: pair.Bench.Name}
 
 		items, err := core.Assign(prog, b.trgRes, b.pop, opts.Cache)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		gl, err := core.Linearize(prog, items, b.pop, opts.Cache)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if row.GBSCMR, err = cache.MissRate(opts.Cache, gl, b.test); err != nil {
-			return nil, err
+			return err
 		}
 		row.GBSCMetric = metrics.TRGConflict(gl, b.trgRes.Place, b.trgRes.Chunker, opts.Cache)
 
@@ -61,15 +66,19 @@ func Headroom(opts Options) (*HeadroomResult, error) {
 			Init:  items,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if row.AnnealMR, err = cache.MissRate(opts.Cache, al, b.test); err != nil {
-			return nil, err
+			return err
 		}
 		row.AnnealMetric = metrics.TRGConflict(al, b.trgRes.Place, b.trgRes.Chunker, opts.Cache)
-		res.Rows = append(res.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &HeadroomResult{Steps: steps, Rows: rows}, nil
 }
 
 // Render prints the comparison.

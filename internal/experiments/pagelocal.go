@@ -33,29 +33,34 @@ type PageLocalityResult struct {
 func PageLocality(opts Options) (*PageLocalityResult, error) {
 	opts.setDefaults()
 	const pageBytes = 8192
-	res := &PageLocalityResult{PageBytes: pageBytes}
-	for _, pair := range opts.suite() {
+	pairs, err := opts.suite()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]PageLocalityRow, len(pairs))
+	err = forEach(opts.parallelism(), len(pairs), func(i int) error {
+		pair := pairs[i]
 		b, err := prepare(pair, opts.Cache)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prog := pair.Bench.Prog
 
 		std, err := core.Place(prog, b.trgRes, b.pop, opts.Cache)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		paged, err := core.PlacePageAware(prog, b.trgRes, b.pop, opts.Cache)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		row := PageLocalityRow{Name: pair.Bench.Name}
 		if row.StdMR, err = cache.MissRate(opts.Cache, std, b.test); err != nil {
-			return nil, err
+			return err
 		}
 		if row.PageMR, err = cache.MissRate(opts.Cache, paged, b.test); err != nil {
-			return nil, err
+			return err
 		}
 		row.StdPages = metrics.Pages(std, b.test, pageBytes)
 		row.PagePages = metrics.Pages(paged, b.test, pageBytes)
@@ -63,17 +68,21 @@ func PageLocality(opts Options) (*PageLocalityResult, error) {
 		tlbCfg := cache.TLBConfig{Entries: 32, PageBytes: pageBytes}
 		stdTLB, err := cache.RunTraceTLB(tlbCfg, std, b.test)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pageTLB, err := cache.RunTraceTLB(tlbCfg, paged, b.test)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.StdTLB = stdTLB.MissRate()
 		row.PageTLB = pageTLB.MissRate()
-		res.Rows = append(res.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &PageLocalityResult{PageBytes: pageBytes, Rows: rows}, nil
 }
 
 // Render prints the comparison.

@@ -45,7 +45,7 @@ func SameInput(opts Options) (*SameInputResult, error) {
 		MissRates: map[AlgorithmName]float64{},
 	}
 	for _, alg := range []AlgorithmName{AlgPH, AlgHKC, AlgGBSC} {
-		mr, err := runAlgorithm(alg, b, opts.Cache, nil)
+		mr, err := runAlgorithm(alg, b, opts.Cache, nil, nil)
 		if err != nil {
 			return nil, err
 		}

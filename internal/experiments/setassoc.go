@@ -36,11 +36,16 @@ func SetAssoc(opts Options) (*SetAssocResult, error) {
 		LineBytes: opts.Cache.LineBytes,
 		Assoc:     2,
 	}
-	res := &SetAssocResult{Cache: assocCfg}
-	for _, pair := range opts.suite() {
+	pairs, err := opts.suite()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SetAssocRow, len(pairs))
+	err = forEach(opts.parallelism(), len(pairs), func(i int) error {
+		pair := pairs[i]
 		b, err := prepare(pair, opts.Cache)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prog := pair.Bench.Prog
 
@@ -50,42 +55,46 @@ func SetAssoc(opts Options) (*SetAssocResult, error) {
 			Popular:    b.pop,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		defLayout := defaultLayoutOf(prog)
 		defMR, err := cache.MissRate(assocCfg, defLayout, b.test)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		dmLayout, err := core.Place(prog, b.trgRes, b.pop, opts.Cache)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dmMR, err := cache.MissRate(assocCfg, dmLayout, b.test)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		asLayout, err := core.PlaceAssoc(prog, trgPairs, db, b.pop, assocCfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		asMR, err := cache.MissRate(assocCfg, asLayout, b.test)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
-		res.Rows = append(res.Rows, SetAssocRow{
+		rows[i] = SetAssocRow{
 			Name:          pair.Bench.Name,
 			DefaultMR:     defMR,
 			DirectGBSCMR:  dmMR,
 			AssocGBSCMR:   asMR,
 			PairDBEntries: db.Len(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &SetAssocResult{Cache: assocCfg, Rows: rows}, nil
 }
 
 // Render prints the comparison.

@@ -32,21 +32,26 @@ type SplittingResult struct {
 // Splitting evaluates procedure splitting combined with GBSC placement.
 func Splitting(opts Options) (*SplittingResult, error) {
 	opts.setDefaults()
-	res := &SplittingResult{}
-	for _, pair := range opts.suite() {
+	pairs, err := opts.suite()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SplittingRow, len(pairs))
+	err = forEach(opts.parallelism(), len(pairs), func(i int) error {
+		pair := pairs[i]
 		b, err := prepare(pair, opts.Cache)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prog := pair.Bench.Prog
 		row := SplittingRow{Name: pair.Bench.Name}
 
 		plain, err := core.Place(prog, b.trgRes, b.pop, opts.Cache)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if row.GBSC, err = cache.RunTraceClassified(opts.Cache, plain, b.test); err != nil {
-			return nil, err
+			return err
 		}
 
 		// Split on the training profile, transform both traces, and run
@@ -55,16 +60,16 @@ func Splitting(opts Options) (*SplittingResult, error) {
 			Align: opts.Cache.LineBytes,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.Splits = sp.Splits
 		strain, err := sp.TransformTrace(prog, b.train)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		stest, err := sp.TransformTrace(prog, b.test)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		spop := popular.Select(sp.Prog, strain, popular.Options{})
 		sres, err := trg.Build(sp.Prog, strain, trg.Options{
@@ -72,18 +77,22 @@ func Splitting(opts Options) (*SplittingResult, error) {
 			Popular:    spop,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		slayout, err := core.Place(sp.Prog, sres, spop, opts.Cache)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if row.SplitGBSC, err = cache.RunTraceClassified(opts.Cache, slayout, stest); err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &SplittingResult{Rows: rows}, nil
 }
 
 // Render prints the comparison.

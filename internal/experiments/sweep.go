@@ -39,49 +39,58 @@ func CacheSweep(opts Options) (*SweepResult, error) {
 		{SizeBytes: 16384, LineBytes: 32, Assoc: 1},
 		{SizeBytes: 8192, LineBytes: 32, Assoc: 2},
 	}
-	res := &SweepResult{}
-	for _, pair := range opts.suite() {
-		for _, cfg := range geometries {
-			b, err := prepare(pair, cfg)
-			if err != nil {
-				return nil, err
-			}
-			prog := pair.Bench.Prog
-			cell := SweepCell{Name: pair.Bench.Name, Cache: cfg}
-
-			if cell.Default, err = cache.MissRate(cfg, program.DefaultLayout(prog), b.test); err != nil {
-				return nil, err
-			}
-			phl, err := baseline.PHLayout(prog, b.wcgFull)
-			if err != nil {
-				return nil, err
-			}
-			if cell.PH, err = cache.MissRate(cfg, phl, b.test); err != nil {
-				return nil, err
-			}
-			// GBSC trained against the direct-mapped view of the geometry
-			// (the Section 6 pair database handles 2-way natively; for
-			// the sweep we measure how the direct-mapped placement holds
-			// up, the more common deployment).
-			res2, err := trg.Build(prog, b.train, trg.Options{
-				CacheBytes: cfg.SizeBytes,
-				Popular:    b.pop,
-			})
-			if err != nil {
-				return nil, err
-			}
-			dm := cache.Config{SizeBytes: cfg.SizeBytes, LineBytes: cfg.LineBytes, Assoc: 1}
-			gl, err := core.Place(prog, res2, b.pop, dm)
-			if err != nil {
-				return nil, err
-			}
-			if cell.GBSC, err = cache.MissRate(cfg, gl, b.test); err != nil {
-				return nil, err
-			}
-			res.Cells = append(res.Cells, cell)
-		}
+	pairs, err := opts.suite()
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	// Every (benchmark, geometry) cell retrains from scratch, so the grid
+	// is fully independent and shards flat across workers.
+	cells := make([]SweepCell, len(pairs)*len(geometries))
+	err = forEach(opts.parallelism(), len(cells), func(i int) error {
+		pair, cfg := pairs[i/len(geometries)], geometries[i%len(geometries)]
+		b, err := prepare(pair, cfg)
+		if err != nil {
+			return err
+		}
+		prog := pair.Bench.Prog
+		cell := SweepCell{Name: pair.Bench.Name, Cache: cfg}
+
+		if cell.Default, err = cache.MissRate(cfg, program.DefaultLayout(prog), b.test); err != nil {
+			return err
+		}
+		phl, err := baseline.PHLayout(prog, b.wcgFull)
+		if err != nil {
+			return err
+		}
+		if cell.PH, err = cache.MissRate(cfg, phl, b.test); err != nil {
+			return err
+		}
+		// GBSC trained against the direct-mapped view of the geometry
+		// (the Section 6 pair database handles 2-way natively; for
+		// the sweep we measure how the direct-mapped placement holds
+		// up, the more common deployment).
+		res2, err := trg.Build(prog, b.train, trg.Options{
+			CacheBytes: cfg.SizeBytes,
+			Popular:    b.pop,
+		})
+		if err != nil {
+			return err
+		}
+		dm := cache.Config{SizeBytes: cfg.SizeBytes, LineBytes: cfg.LineBytes, Assoc: 1}
+		gl, err := core.Place(prog, res2, b.pop, dm)
+		if err != nil {
+			return err
+		}
+		if cell.GBSC, err = cache.MissRate(cfg, gl, b.test); err != nil {
+			return err
+		}
+		cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SweepResult{Cells: cells}, nil
 }
 
 // Render prints the grid grouped by benchmark.

@@ -39,19 +39,24 @@ type Table1Result struct {
 // Table1 regenerates the paper's Table 1 for the synthetic suite.
 func Table1(opts Options) (*Table1Result, error) {
 	opts.setDefaults()
-	res := &Table1Result{}
-	for _, pair := range opts.suite() {
+	pairs, err := opts.suite()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table1Row, len(pairs))
+	err = forEach(opts.parallelism(), len(pairs), func(i int) error {
+		pair := pairs[i]
 		b, err := prepare(pair, opts.Cache)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prog := pair.Bench.Prog
 		def := program.DefaultLayout(prog)
 		mr, err := cache.MissRate(opts.Cache, def, b.test)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, Table1Row{
+		rows[i] = Table1Row{
 			Name:            pair.Bench.Name,
 			TotalSize:       prog.TotalSize(),
 			ProcCount:       prog.NumProcs(),
@@ -65,9 +70,13 @@ func Table1(opts Options) (*Table1Result, error) {
 			TestRefs:        b.test.NumLineRefs(prog, opts.Cache.LineBytes),
 			DefaultMissRate: mr,
 			AvgQSize:        b.trgRes.AvgQProcs,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Table1Result{Rows: rows}, nil
 }
 
 // Render prints the table in the layout of the paper's Table 1.

@@ -102,7 +102,15 @@ func (t *Trace) LineRefs(prog *program.Program, lineSize int, fn func(p program.
 }
 
 // NumLineRefs returns the total number of line references LineRefs would
-// emit for the given line size.
+// emit for the given line size: ceil(extent/lineSize) × repeats per
+// activation, summed over the trace.
+//
+// This is the layout-INDEPENDENT footprint — every placement of the same
+// trace yields the same count, which is what Table 1's "refs" columns
+// report. It intentionally diverges from the reference count of
+// cache.RunTrace, which replays one concrete placement and touches every
+// line overlapping [addr, addr+extent): an activation whose placed start
+// is not line-aligned can span one extra line (at most one per repeat).
 func (t *Trace) NumLineRefs(prog *program.Program, lineSize int) int64 {
 	var total int64
 	for _, e := range t.Events {

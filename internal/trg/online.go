@@ -71,19 +71,19 @@ func (b *Builder) Observe(e trace.Event) {
 		return
 	}
 	b.events++
+	ext := e.ExtentBytes(b.prog)
 
 	// Procedure granularity → TRG_select. Q is charged with the executed
 	// extent, the activation's cache footprint.
 	id := BlockID(p)
 	b.sel.AddNode(id)
-	b.qSel.Touch(id, e.ExtentBytes(b.prog), func(between BlockID) {
+	b.qSel.Touch(id, ext, func(between BlockID) {
 		b.sel.Increment(id, between)
 	})
 	b.qLenSum += int64(b.qSel.Len())
 	b.qSteps++
 
 	// Chunk granularity → TRG_place (+ pair database).
-	ext := e.ExtentBytes(b.prog)
 	n := program.CeilDiv(ext, b.chunker.ChunkSize())
 	first := b.chunker.FirstChunk(p)
 	for i := 0; i < n; i++ {
