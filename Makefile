@@ -1,14 +1,22 @@
 # Development and CI entry points. `make ci` is the gate every change must
-# pass: vet, build, the full test suite under the race detector (the
-# experiment worker pool runs concurrently in several tests, so -race is
-# mandatory, not optional), and one iteration of every benchmark as a smoke
-# test of the measurement loop.
+# pass: formatting, vet, build, the full test suite under the race detector
+# (the experiment worker pool runs concurrently in several tests, so -race
+# is mandatory, not optional), and one iteration of every benchmark as a
+# smoke test of the measurement loop.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench experiments
+.PHONY: ci fmt fmt-check vet build test race bench experiments golden-smoke
 
-ci: vet build race bench
+ci: fmt-check vet build race bench
+
+fmt:
+	gofmt -w .
+
+# Fails listing the offending files if anything is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -28,3 +36,10 @@ bench:
 # Regenerate the full paper evaluation (EXPERIMENTS.md numbers).
 experiments:
 	$(GO) run ./cmd/experiments -run all -scale 1.0 -runs 40
+
+# Regenerate the small-scale golden CI checks against (ci_smoke_output.txt).
+# CI re-runs this and fails on any diff, so commit the refreshed file
+# whenever an intentional change moves the numbers.
+golden-smoke:
+	$(GO) run ./cmd/experiments -run all -scale 0.05 -runs 3 -seed 1 \
+		-stats ci-run-report.json > ci_smoke_output.txt

@@ -1,0 +1,86 @@
+// Command benchdiff compares two run reports produced by the -stats flag
+// of cmd/experiments (or cmd/cachesim, cmd/tracegen) and exits nonzero on
+// drift: any miss-rate change beyond -miss-tol, any deterministic counter
+// or histogram change beyond -counter-tol, and — only when -timing-tol is
+// set — any timer whose total regressed by more than that fraction.
+//
+// This is the artifact gate the CI pipeline runs between a baseline report
+// and a candidate report:
+//
+//	benchdiff BENCH_main.json BENCH_pr.json
+//	benchdiff -timing-tol 0.25 BENCH_main.json BENCH_pr.json
+//
+// Exit status: 0 no drift, 1 drift, 2 usage or I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/telemetry/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+
+	missTol := flag.Float64("miss-tol", 0, "absolute miss-rate drift tolerated per benchmark/algorithm cell (0 = exact)")
+	counterTol := flag.Float64("counter-tol", 0, "relative counter/histogram drift tolerated (0 = exact)")
+	timingTol := flag.Float64("timing-tol", 0, "fractional timing regression tolerated; 0 disables timing comparison (timings are machine-dependent)")
+	verbose := flag.Bool("v", false, "also print informational notes, not just drift")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [flags] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldRep, err := readReport(flag.Arg(0))
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	newRep, err := readReport(flag.Arg(1))
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+
+	findings := report.Diff(oldRep, newRep, report.DiffOptions{
+		MissRateTol: *missTol,
+		CounterTol:  *counterTol,
+		TimingTol:   *timingTol,
+	})
+	drift := 0
+	for _, f := range findings {
+		if f.Drift {
+			drift++
+			fmt.Println(f)
+		} else if *verbose {
+			fmt.Println(f)
+		}
+	}
+	if drift > 0 {
+		fmt.Printf("benchdiff: %d drift finding(s) between %s and %s\n", drift, flag.Arg(0), flag.Arg(1))
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: no drift between %s and %s\n", flag.Arg(0), flag.Arg(1))
+}
+
+func readReport(path string) (*report.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := report.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}

@@ -5,6 +5,7 @@
 //
 //	cachesim -prog perl.prog -layout perl.layout -trace perl-test.trace
 //	cachesim -prog perl.prog -trace perl-test.trace          # default layout
+//	cachesim -prog perl.prog -trace perl-test.trace -stats report.json
 package main
 
 import (
@@ -12,16 +13,27 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/program"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/report"
 	"repro/internal/trace"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cachesim: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run() error {
 	progPath := flag.String("prog", "", "program description file (required)")
 	layoutPath := flag.String("layout", "", "layout file (default: link-order layout)")
 	tracePath := flag.String("trace", "", "binary trace file (required)")
@@ -30,19 +42,33 @@ func main() {
 	assoc := flag.Int("assoc", 1, "set associativity (1 = direct-mapped)")
 	classify := flag.Bool("classify", false, "classify misses (cold/capacity/conflict) and attribute them to procedures (slower)")
 	top := flag.Int("top", 10, "with -classify, how many worst procedures to list")
+	statsPath := flag.String("stats", "", "write a JSON run report to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path")
 	flag.Parse()
 
 	if *progPath == "" || *tracePath == "" {
-		log.Fatal("-prog and -trace are required")
+		return fmt.Errorf("-prog and -trace are required")
 	}
+
+	stopProf, err := telemetry.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			log.Printf("profiles: %v", perr)
+		}
+	}()
+
 	pf, err := os.Open(*progPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	prog, err := program.ReadDescription(pf)
 	pf.Close()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	var layout *program.Layout
@@ -51,39 +77,63 @@ func main() {
 	} else {
 		lf, err := os.Open(*layoutPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		layout, err = program.ReadLayout(lf, prog)
 		lf.Close()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := layout.Validate(); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
 	tf, err := os.Open(*tracePath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	tr, err := trace.ReadBinary(tf)
 	tf.Close()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := tr.Validate(prog); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	cfg := cache.Config{SizeBytes: *cacheBytes, LineBytes: *lineBytes, Assoc: *assoc}
 	fmt.Printf("cache: %dB, %dB lines, %d-way\n", cfg.SizeBytes, cfg.LineBytes, cfg.Assoc)
 
+	var rep *report.Report
+	var sh *telemetry.Shard
+	if *statsPath != "" {
+		reg := telemetry.NewRegistry()
+		sh = reg.Shard()
+		rep = report.New("cachesim")
+		rep.Params["prog"] = *progPath
+		rep.Params["layout"] = *layoutPath
+		rep.Params["trace"] = *tracePath
+		rep.Params["cache"] = strconv.Itoa(*cacheBytes)
+		rep.Params["line"] = strconv.Itoa(*lineBytes)
+		rep.Params["assoc"] = strconv.Itoa(*assoc)
+		defer func() {
+			rep.AddSnapshot(reg.Snapshot())
+			rep.CaptureAlloc()
+			if werr := writeReport(*statsPath, rep); werr != nil {
+				log.Printf("stats: %v", werr)
+			}
+		}()
+	}
+	bench := strings.TrimSuffix(filepath.Base(*progPath), filepath.Ext(*progPath))
+
 	if *classify {
+		stop := time.Now()
 		cs, err := cache.RunTraceClassified(cfg, layout, tr)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
+		sh.AddDuration("cachesim/sim_wall", time.Since(stop))
 		fmt.Printf("refs:      %d\n", cs.Refs)
 		fmt.Printf("misses:    %d (cold %d, capacity %d, conflict %d)\n",
 			cs.Misses, cs.Cold, cs.Capacity, cs.Conflict)
@@ -92,14 +142,45 @@ func main() {
 		for _, p := range cs.TopMissProcs(*top) {
 			fmt.Printf("  %-30s %10d\n", prog.Name(p), cs.PerProc[p])
 		}
-		return
+		sh.Add("cache/refs", cs.Refs)
+		sh.Add("cache/misses", cs.Misses)
+		sh.Add("cache/cold_misses", cs.Cold)
+		sh.Add("cache/conflict_misses", cs.Conflict)
+		if rep != nil {
+			rep.AddMissRate(bench, "sim", cs.MissRate())
+		}
+		return nil
 	}
 
+	start := time.Now()
 	st, err := cache.RunTrace(cfg, layout, tr)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
+	sh.AddDuration("cachesim/sim_wall", time.Since(start))
 	fmt.Printf("refs:      %d\n", st.Refs)
-	fmt.Printf("misses:    %d\n", st.Misses)
+	fmt.Printf("misses:    %d (cold %d, conflict+capacity %d)\n", st.Misses, st.Cold, st.Conflict())
 	fmt.Printf("miss rate: %.4f%%\n", 100*st.MissRate())
+	sh.Add("cache/refs", st.Refs)
+	sh.Add("cache/misses", st.Misses)
+	sh.Add("cache/cold_misses", st.Cold)
+	sh.Add("cache/conflict_misses", st.Conflict())
+	if rep != nil {
+		rep.AddMissRate(bench, "sim", st.MissRate())
+	}
+	return nil
+}
+
+// writeReport writes rep to path, propagating Close errors so a truncated
+// report never passes silently.
+func writeReport(path string, rep *report.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = report.Write(f, rep)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -7,25 +7,41 @@
 //	experiments -run table1,figure5 -scale 1.0 -runs 40
 //	experiments -run figure6 -csv fig6.csv
 //	experiments -run all -parallel 1   # serial; output identical to parallel
+//	experiments -run all -stats report.json -cpuprofile cpu.pprof
 //
 // Available experiments: table1, figure5, figure6, padding, sameinput,
 // setassoc, ablations, all.
+//
+// With -stats, the run emits a versioned JSON run report (see
+// internal/telemetry/report) holding per-benchmark miss rates, pipeline
+// counters and histograms (all identical at every -parallel setting), and
+// wall/CPU timings. cmd/benchdiff compares two such reports.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/report"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run() error {
 	run := flag.String("run", "all", "comma-separated experiments to run")
 	scale := flag.Float64("scale", 1.0, "trace length scale factor")
 	runs := flag.Int("runs", 40, "perturbed runs per algorithm (figure 5)")
@@ -33,11 +49,38 @@ func main() {
 	benches := flag.String("bench", "", "comma-separated benchmark filter (default all six)")
 	csvPath := flag.String("csv", "", "also write figure 6 points as CSV to this path")
 	parallel := flag.Int("parallel", 0, "experiment worker count (0 = one per CPU, 1 = serial); output is identical at every setting")
+	statsPath := flag.String("stats", "", "write a JSON run report to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path")
 	flag.Parse()
+
+	stopProf, err := telemetry.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			log.Printf("profiles: %v", perr)
+		}
+	}()
 
 	opts := experiments.Options{Scale: *scale, Runs: *runs, Seed: *seed, Parallel: *parallel}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	// Telemetry is collected only when a report is requested; a nil
+	// registry makes every recording call a no-op.
+	var rep *report.Report
+	if *statsPath != "" {
+		opts.Telemetry = telemetry.NewRegistry()
+		rep = report.New("experiments")
+		rep.Params["run"] = *run
+		rep.Params["scale"] = strconv.FormatFloat(*scale, 'g', -1, 64)
+		rep.Params["runs"] = strconv.Itoa(*runs)
+		rep.Params["seed"] = strconv.FormatInt(*seed, 10)
+		rep.Params["bench"] = *benches
+		rep.Params["parallel"] = strconv.Itoa(*parallel)
 	}
 
 	want := map[string]bool{}
@@ -46,149 +89,139 @@ func main() {
 	}
 	all := want["all"]
 
+	// Each step returns its typed result so the run report can pull
+	// machine-gateable numbers out of it; results without such numbers
+	// pass through experiments.Record as a no-op.
 	type step struct {
 		name string
-		fn   func() error
+		fn   func() (any, error)
 	}
 	steps := []step{
-		{"table1", func() error {
+		{"table1", func() (any, error) {
 			r, err := experiments.Table1(opts)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			fmt.Println("== Table 1: benchmark details ==")
-			return r.Render(os.Stdout)
+			return r, r.Render(os.Stdout)
 		}},
-		{"figure5", func() error {
+		{"figure5", func() (any, error) {
 			r, err := experiments.Figure5(opts)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if err := r.Render(os.Stdout); err != nil {
-				return err
+				return nil, err
 			}
 			if *csvPath != "" {
-				f, err := os.Create(*csvPath)
-				if err != nil {
-					return err
+				if err := writeFile(*csvPath, r.WriteCSV); err != nil {
+					return nil, err
 				}
-				defer f.Close()
-				return r.WriteCSV(f)
 			}
-			return nil
+			return r, nil
 		}},
-		{"figure6", func() error {
+		{"figure6", func() (any, error) {
 			r, err := experiments.Figure6(opts)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if err := r.Render(os.Stdout); err != nil {
-				return err
+				return nil, err
 			}
 			if *csvPath != "" {
-				f, err := os.Create(*csvPath)
+				err := writeFile(*csvPath, func(f io.Writer) error {
+					if _, err := fmt.Fprintln(f, "missrate,trg_metric,wcg_metric"); err != nil {
+						return err
+					}
+					for _, p := range r.Points {
+						if _, err := fmt.Fprintf(f, "%.6f,%d,%d\n", p.MissRate, p.TRGMetric, p.WCGMetric); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
 				if err != nil {
-					return err
-				}
-				defer f.Close()
-				fmt.Fprintln(f, "missrate,trg_metric,wcg_metric")
-				for _, p := range r.Points {
-					fmt.Fprintf(f, "%.6f,%d,%d\n", p.MissRate, p.TRGMetric, p.WCGMetric)
+					return nil, err
 				}
 			}
-			return nil
+			return r, nil
 		}},
-		{"padding", func() error {
-			r, err := experiments.Padding(opts)
-			if err != nil {
-				return err
-			}
-			return r.Render(os.Stdout)
-		}},
-		{"sameinput", func() error {
-			r, err := experiments.SameInput(opts)
-			if err != nil {
-				return err
-			}
-			return r.Render(os.Stdout)
-		}},
-		{"setassoc", func() error {
-			r, err := experiments.SetAssoc(opts)
-			if err != nil {
-				return err
-			}
-			return r.Render(os.Stdout)
-		}},
-		{"ablations", func() error {
-			r, err := experiments.Ablations(opts)
-			if err != nil {
-				return err
-			}
-			return r.Render(os.Stdout)
-		}},
-		{"pagelocal", func() error {
-			r, err := experiments.PageLocality(opts)
-			if err != nil {
-				return err
-			}
-			return r.Render(os.Stdout)
-		}},
-		{"conflicts", func() error {
-			r, err := experiments.Conflicts(opts)
-			if err != nil {
-				return err
-			}
-			return r.Render(os.Stdout)
-		}},
-		{"splitting", func() error {
-			r, err := experiments.Splitting(opts)
-			if err != nil {
-				return err
-			}
-			return r.Render(os.Stdout)
-		}},
-		{"sweep", func() error {
-			r, err := experiments.CacheSweep(opts)
-			if err != nil {
-				return err
-			}
-			return r.Render(os.Stdout)
-		}},
-		{"optimality", func() error {
-			r, err := experiments.Optimality(opts)
-			if err != nil {
-				return err
-			}
-			return r.Render(os.Stdout)
-		}},
-		{"blockreorder", func() error {
-			r, err := experiments.BlockReorder(opts)
-			if err != nil {
-				return err
-			}
-			return r.Render(os.Stdout)
-		}},
-		{"headroom", func() error {
-			r, err := experiments.Headroom(opts)
-			if err != nil {
-				return err
-			}
-			return r.Render(os.Stdout)
-		}},
+		{"padding", func() (any, error) { return render(experiments.Padding(opts)) }},
+		{"sameinput", func() (any, error) { return render(experiments.SameInput(opts)) }},
+		{"setassoc", func() (any, error) { return render(experiments.SetAssoc(opts)) }},
+		{"ablations", func() (any, error) { return render(experiments.Ablations(opts)) }},
+		{"pagelocal", func() (any, error) { return render(experiments.PageLocality(opts)) }},
+		{"conflicts", func() (any, error) { return render(experiments.Conflicts(opts)) }},
+		{"splitting", func() (any, error) { return render(experiments.Splitting(opts)) }},
+		{"sweep", func() (any, error) { return render(experiments.CacheSweep(opts)) }},
+		{"optimality", func() (any, error) { return render(experiments.Optimality(opts)) }},
+		{"blockreorder", func() (any, error) { return render(experiments.BlockReorder(opts)) }},
+		{"headroom", func() (any, error) { return render(experiments.Headroom(opts)) }},
 	}
 
 	ran := 0
+	var stepErr error
+	sh := opts.Telemetry.Shard()
 	for _, s := range steps {
 		if !all && !want[s.name] {
 			continue
 		}
-		if err := s.fn(); err != nil {
-			log.Fatalf("%s: %v", s.name, err)
+		start := time.Now()
+		cpu0 := telemetry.CPUSeconds()
+		result, err := s.fn()
+		sh.AddDuration("exp/"+s.name+"/wall", time.Since(start))
+		sh.AddDuration("exp/"+s.name+"/cpu", time.Duration((telemetry.CPUSeconds()-cpu0)*1e9))
+		if err != nil {
+			stepErr = fmt.Errorf("%s: %w", s.name, err)
+			break
 		}
+		experiments.Record(rep, result)
 		fmt.Println()
 		ran++
 	}
-	if ran == 0 {
-		log.Fatalf("no experiments matched %q", *run)
+	if stepErr == nil && ran == 0 {
+		stepErr = fmt.Errorf("no experiments matched %q", *run)
 	}
+
+	// The report is written even when a step failed — a partial report
+	// with failed=... beats a truncated or missing file when CI digs
+	// through artifacts.
+	if rep != nil {
+		if stepErr != nil {
+			rep.Params["failed"] = stepErr.Error()
+		}
+		rep.AddSnapshot(opts.Telemetry.Snapshot())
+		rep.CaptureAlloc()
+		if err := writeFile(*statsPath, func(f io.Writer) error { return report.Write(f, rep) }); err != nil {
+			if stepErr != nil {
+				return fmt.Errorf("%w (also failed writing %s: %v)", stepErr, *statsPath, err)
+			}
+			return err
+		}
+	}
+	return stepErr
+}
+
+// render adapts the common "result with a Render method" experiment shape
+// to a step function.
+func render[T interface{ Render(w io.Writer) error }](r T, err error) (any, error) {
+	if err != nil {
+		return nil, err
+	}
+	return r, r.Render(os.Stdout)
+}
+
+// writeFile creates path, runs fill, and returns the first error among
+// fill, Sync-less Close, and creation — so a full disk or closed pipe is
+// reported instead of leaving a silently truncated file behind.
+func writeFile(path string, fill func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = fill(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -22,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/popular"
 	"repro/internal/program"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/trg"
 	"repro/internal/wcg"
@@ -30,7 +32,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("layout: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run() error {
 	progPath := flag.String("prog", "", "program description file (required)")
 	tracePath := flag.String("trace", "", "binary trace file (required except for -alg default)")
 	alg := flag.String("alg", "gbsc", "placement algorithm: gbsc, gbsc2, ph, hkc, default")
@@ -40,37 +47,50 @@ func main() {
 	lineBytes := flag.Int("line", 32, "cache line size in bytes")
 	chunk := flag.Int("chunk", 256, "TRG_place chunk size in bytes")
 	pageAware := flag.Bool("pagelocal", false, "use the page-locality linearization (gbsc only)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path")
 	flag.Parse()
 
 	if *progPath == "" {
-		log.Fatal("-prog is required")
+		return fmt.Errorf("-prog is required")
 	}
+
+	stopProf, err := telemetry.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			log.Printf("profiles: %v", perr)
+		}
+	}()
+
 	pf, err := os.Open(*progPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	prog, err := program.ReadDescription(pf)
 	pf.Close()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	var tr *trace.Trace
 	if *tracePath != "" {
 		tf, err := os.Open(*tracePath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		tr, err = trace.ReadBinary(tf)
 		tf.Close()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := tr.Validate(prog); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	} else if *alg != "default" {
-		log.Fatalf("-trace is required for -alg %s", *alg)
+		return fmt.Errorf("-trace is required for -alg %s", *alg)
 	}
 
 	cfg := cache.Config{SizeBytes: *cacheBytes, LineBytes: *lineBytes, Assoc: 1}
@@ -78,7 +98,7 @@ func main() {
 		cfg.Assoc = 2
 	}
 	if err := cfg.Validate(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	var l *program.Layout
@@ -114,37 +134,43 @@ func main() {
 			l, err = core.PlaceAssoc(prog, res, db, pop, cfg)
 		}
 	default:
-		log.Fatalf("unknown algorithm %q", *alg)
+		return fmt.Errorf("unknown algorithm %q", *alg)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := l.Validate(); err != nil {
-		log.Fatalf("internal error: produced invalid layout: %v", err)
+		return fmt.Errorf("internal error: produced invalid layout: %w", err)
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			log.Fatal(err)
+	emit := func(w io.Writer) error {
+		switch *format {
+		case "layout":
+			return l.WriteLayout(w)
+		case "order":
+			return l.WriteOrder(w)
+		case "ldscript":
+			return l.WriteLinkerScript(w, 0x400000)
+		default:
+			return fmt.Errorf("unknown format %q", *format)
 		}
-		defer f.Close()
-		w = f
 	}
-	switch *format {
-	case "layout":
-		err = l.WriteLayout(w)
-	case "order":
-		err = l.WriteOrder(w)
-	case "ldscript":
-		err = l.WriteLinkerScript(w, 0x400000)
-	default:
-		log.Fatalf("unknown format %q", *format)
+	if *out == "" {
+		err = emit(os.Stdout)
+	} else {
+		var f *os.File
+		if f, err = os.Create(*out); err != nil {
+			return err
+		}
+		err = emit(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "layout: %s over %d procedures, extent %d bytes\n",
 		*alg, prog.NumProcs(), l.Extent())
+	return nil
 }

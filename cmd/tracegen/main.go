@@ -6,32 +6,55 @@
 // Usage:
 //
 //	tracegen -bench perl -input train -scale 1.0 -out perl.trace -prog perl.prog
+//	tracegen -bench perl -input train -stats report.json
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"strconv"
 
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/report"
 	"repro/internal/tracegen"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracegen: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run() error {
 	benchName := flag.String("bench", "perl", "benchmark name (gcc, go, ghostscript, m88ksim, perl, vortex)")
 	input := flag.String("input", "train", "which input to run: train or test")
 	scale := flag.Float64("scale", 1.0, "trace length scale factor")
 	outTrace := flag.String("out", "", "output trace file (binary format); default <bench>-<input>.trace")
 	outProg := flag.String("prog", "", "output program description; default <bench>.prog")
+	statsPath := flag.String("stats", "", "write a JSON run report to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path")
 	flag.Parse()
+
+	stopProf, err := telemetry.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			log.Printf("profiles: %v", perr)
+		}
+	}()
 
 	pair := tracegen.Lookup(tracegen.Suite(*scale), *benchName)
 	if pair == nil {
-		log.Fatalf("unknown benchmark %q", *benchName)
+		return fmt.Errorf("unknown benchmark %q", *benchName)
 	}
 	in := pair.Train
 	switch *input {
@@ -39,7 +62,7 @@ func main() {
 	case "test":
 		in = pair.Test
 	default:
-		log.Fatalf("unknown input %q (want train or test)", *input)
+		return fmt.Errorf("unknown input %q (want train or test)", *input)
 	}
 
 	if *outTrace == "" {
@@ -49,33 +72,73 @@ func main() {
 		*outProg = fmt.Sprintf("%s.prog", *benchName)
 	}
 
-	tr := pair.Bench.Trace(in)
+	var rep *report.Report
+	var sh *telemetry.Shard
+	if *statsPath != "" {
+		reg := telemetry.NewRegistry()
+		sh = reg.Shard()
+		rep = report.New("tracegen")
+		rep.Params["bench"] = *benchName
+		rep.Params["input"] = *input
+		rep.Params["scale"] = strconv.FormatFloat(*scale, 'g', -1, 64)
+		defer func() {
+			rep.AddSnapshot(reg.Snapshot())
+			rep.CaptureAlloc()
+			if werr := writeReport(*statsPath, rep); werr != nil {
+				log.Printf("stats: %v", werr)
+			}
+		}()
+	}
 
-	tf, err := os.Create(*outTrace)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer tf.Close()
-	if err := tr.WriteBinary(tf); err != nil {
-		log.Fatalf("writing trace: %v", err)
-	}
+	tr := tracegen.Generate(pair.Bench, in, sh)
 
-	pf, err := os.Create(*outProg)
+	if err := writeTo(*outTrace, tr.WriteBinary); err != nil {
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	err = writeTo(*outProg, func(f io.Writer) error {
+		w := bufio.NewWriter(f)
+		fmt.Fprintf(w, "# %s: %d procedures, %d bytes\n",
+			pair.Bench.Name, pair.Bench.Prog.NumProcs(), pair.Bench.Prog.TotalSize())
+		for _, p := range pair.Bench.Prog.Procs {
+			fmt.Fprintf(w, "%s %d\n", p.Name, p.Size)
+		}
+		return w.Flush()
+	})
 	if err != nil {
-		log.Fatal(err)
-	}
-	defer pf.Close()
-	w := bufio.NewWriter(pf)
-	fmt.Fprintf(w, "# %s: %d procedures, %d bytes\n",
-		pair.Bench.Name, pair.Bench.Prog.NumProcs(), pair.Bench.Prog.TotalSize())
-	for _, p := range pair.Bench.Prog.Procs {
-		fmt.Fprintf(w, "%s %d\n", p.Name, p.Size)
-	}
-	if err := w.Flush(); err != nil {
-		log.Fatal(err)
+		return fmt.Errorf("writing program: %w", err)
 	}
 
 	stats := tr.ComputeStats(pair.Bench.Prog, 32)
+	sh.Add("tracegen/line_refs", stats.LineRefs)
+	sh.Add("tracegen/unique_procs", int64(stats.UniqueProcs))
 	fmt.Printf("%s/%s: %d events, %d line refs, %d procedures touched → %s, %s\n",
 		*benchName, in.Name, stats.Events, stats.LineRefs, stats.UniqueProcs, *outTrace, *outProg)
+	return nil
+}
+
+// writeTo creates path, runs fill, and returns the first of fill's error
+// and Close's — so truncated output is an error, not a surprise.
+func writeTo(path string, fill func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = fill(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeReport writes rep to path, propagating Close errors.
+func writeReport(path string, rep *report.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = report.Write(f, rep)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/popular"
 	"repro/internal/program"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/trg"
 )
@@ -26,7 +27,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("traceinfo: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run() error {
 	progPath := flag.String("prog", "", "program description file (required)")
 	tracePath := flag.String("trace", "", "binary trace file (required)")
 	top := flag.Int("top", 15, "how many of the hottest procedures to list")
@@ -34,38 +40,51 @@ func main() {
 	lineBytes := flag.Int("line", 32, "cache line size in bytes")
 	dotPath := flag.String("dot", "", "write TRG_select in Graphviz DOT format to this path")
 	dotMin := flag.Int64("dotmin", 1, "omit TRG edges lighter than this from the DOT output")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path")
 	flag.Parse()
 
 	if *progPath == "" || *tracePath == "" {
-		log.Fatal("-prog and -trace are required")
+		return fmt.Errorf("-prog and -trace are required")
 	}
+
+	stopProf, err := telemetry.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			log.Printf("profiles: %v", perr)
+		}
+	}()
+
 	pf, err := os.Open(*progPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	prog, err := program.ReadDescription(pf)
 	pf.Close()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	tf, err := os.Open(*tracePath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	tr, err := trace.ReadBinary(tf)
 	tf.Close()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := tr.Validate(prog); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	stats := tr.ComputeStats(prog, *lineBytes)
 	pop := popular.Select(prog, tr, popular.Options{})
 	res, err := trg.Build(prog, tr, trg.Options{CacheBytes: *cacheBytes, Popular: pop})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	fmt.Printf("program:            %d procedures, %d bytes\n", prog.NumProcs(), prog.TotalSize())
@@ -80,7 +99,7 @@ func main() {
 	if *dotPath != "" {
 		f, err := os.Create(*dotPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		err = res.Select.WriteDOT(f, "trg_select", func(n graph.NodeID) string {
 			return prog.Name(program.ProcID(n))
@@ -89,7 +108,7 @@ func main() {
 			err = cerr
 		}
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("TRG_select DOT:     %s\n", *dotPath)
 	}
@@ -123,7 +142,5 @@ func main() {
 		}
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\n", prog.Name(h.id), h.n, prog.Size(h.id), mark)
 	}
-	if err := tw.Flush(); err != nil {
-		log.Fatal(err)
-	}
+	return tw.Flush()
 }

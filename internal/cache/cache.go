@@ -51,6 +51,12 @@ func (c Config) NumSets() int { return c.NumLines() / c.Assoc }
 type Stats struct {
 	Refs   int64
 	Misses int64
+	// Cold counts the compulsory subset of Misses: the first reference to
+	// each line since the simulator was created or Reset. The remainder —
+	// Conflict() — are lines that were evicted and fetched again, the
+	// misses a placement can influence. Cold is maintained by Sim;
+	// aggregates built by hand (e.g. the TLB simulator) leave it zero.
+	Cold int64
 }
 
 // MissRate returns Misses/Refs, or 0 for an empty simulation.
@@ -61,10 +67,17 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Refs)
 }
 
+// Conflict returns the non-compulsory misses: conflict plus capacity. In
+// the paper's direct-mapped configuration the working sets fit, so these
+// are overwhelmingly mapping conflicts; RunTraceClassified separates the
+// two exactly with a fully-associative shadow cache.
+func (s Stats) Conflict() int64 { return s.Misses - s.Cold }
+
 // Add merges other into s.
 func (s *Stats) Add(other Stats) {
 	s.Refs += other.Refs
 	s.Misses += other.Misses
+	s.Cold += other.Cold
 }
 
 // Sim is a functional instruction-cache simulator. The tag stored per way is
@@ -83,6 +96,15 @@ type Sim struct {
 	dm    []int64
 	sets  [][]int64 // sets[s] is an LRU-ordered list (front = MRU) of line tags
 	stats Stats
+	// seen stamps each line address with the epoch of its first reference,
+	// so misses can be split into compulsory (first touch) and conflict
+	// (refetch after eviction). Reset bumps the epoch instead of clearing
+	// the array, making Reset O(sets) rather than O(address space) while
+	// still starting every run with a fresh compulsory-miss accounting —
+	// a reused simulator neither double-counts nor under-counts cold
+	// misses relative to a freshly allocated one.
+	seen  []uint32
+	epoch uint32
 }
 
 // NewSim creates a simulator for the given configuration.
@@ -94,6 +116,7 @@ func NewSim(cfg Config) (*Sim, error) {
 		cfg:       cfg,
 		lineBytes: int64(cfg.LineBytes),
 		numSets:   int64(cfg.NumSets()),
+		epoch:     1,
 	}
 	if cfg.Assoc == 1 {
 		s.dm = make([]int64, s.numSets)
@@ -130,6 +153,13 @@ func (s *Sim) Reset() {
 		s.sets[i] = s.sets[i][:0]
 	}
 	s.stats = Stats{}
+	s.epoch++
+	if s.epoch == 0 { // wraparound after ~4e9 Resets: actually clear the stamps
+		for i := range s.seen {
+			s.seen[i] = 0
+		}
+		s.epoch = 1
+	}
 }
 
 // Access references the line containing byte address addr, updating LRU
@@ -143,7 +173,7 @@ func (s *Sim) Access(addr int64) bool {
 			return true
 		}
 		s.dm[setIdx] = lineAddr
-		s.stats.Misses++
+		s.miss(lineAddr)
 		return false
 	}
 	set := s.sets[setIdx]
@@ -156,7 +186,7 @@ func (s *Sim) Access(addr int64) bool {
 		}
 	}
 	// Miss: insert at MRU, evicting LRU if the set is full.
-	s.stats.Misses++
+	s.miss(lineAddr)
 	if len(set) < s.cfg.Assoc {
 		set = append(set, 0)
 	}
@@ -164,6 +194,20 @@ func (s *Sim) Access(addr int64) bool {
 	set[0] = lineAddr
 	s.sets[setIdx] = set
 	return false
+}
+
+// miss records a miss on lineAddr, classifying it as compulsory when the
+// line has never been referenced in the current epoch. Only the miss path
+// pays for the classification; hits are untouched.
+func (s *Sim) miss(lineAddr int64) {
+	s.stats.Misses++
+	if lineAddr >= int64(len(s.seen)) {
+		s.seen = append(s.seen, make([]uint32, lineAddr+1-int64(len(s.seen)))...)
+	}
+	if s.seen[lineAddr] != s.epoch {
+		s.seen[lineAddr] = s.epoch
+		s.stats.Cold++
+	}
 }
 
 // Stats returns the accumulated statistics.

@@ -25,6 +25,24 @@ import (
 // res must come from trg.Build (or trg.BuildPairs) over the same program
 // with the same popular set.
 func Place(prog *program.Program, res *trg.Result, pop *popular.Set, cfg cache.Config) (*program.Layout, error) {
+	return PlaceCounted(prog, res, pop, cfg, nil)
+}
+
+// Metrics accumulates counters from the GBSC merge loop. It is plain data
+// rather than a telemetry handle so core stays decoupled from the
+// telemetry package; callers copy the totals into whatever sink they use.
+type Metrics struct {
+	// Merges counts heaviest-edge node merges (the loop iterations of
+	// Section 4.1's greedy phase).
+	Merges int64
+	// AlignOffsets counts candidate cache-relative offsets evaluated by
+	// the Figure 4 alignment search across all merges (period per merge).
+	AlignOffsets int64
+}
+
+// PlaceCounted is Place, additionally tallying merge-loop effort into m.
+// m may be nil.
+func PlaceCounted(prog *program.Program, res *trg.Result, pop *popular.Set, cfg cache.Config, m *Metrics) (*program.Layout, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -33,7 +51,7 @@ func Place(prog *program.Program, res *trg.Result, pop *popular.Set, cfg cache.C
 		off, _ := bestAlignment(n1, n2, res.Place, res.Chunker, prog, cfg.LineBytes, period)
 		return off
 	}
-	return placeCommon(prog, res, pop, cfg, period, align)
+	return placeCommon(prog, res, pop, cfg, period, align, m)
 }
 
 // PlaceAssoc runs the Section 6 set-associative variant: alignment costs
@@ -57,7 +75,7 @@ func PlaceAssoc(prog *program.Program, res *trg.Result, db *trg.PairDB, pop *pop
 		off, _ := bestAlignmentAssoc(n1, n2, db, res.Chunker, prog, cfg.LineBytes, period)
 		return off
 	}
-	return placeCommon(prog, res, pop, cfg, period, align)
+	return placeCommon(prog, res, pop, cfg, period, align, nil)
 }
 
 // Assign runs the GBSC merging phase only, returning the cache-relative
@@ -72,7 +90,7 @@ func Assign(prog *program.Program, res *trg.Result, pop *popular.Set, cfg cache.
 		off, _ := bestAlignment(n1, n2, res.Place, res.Chunker, prog, cfg.LineBytes, period)
 		return off
 	}
-	return assign(prog, res, pop, period, align)
+	return assign(prog, res, pop, period, align, nil)
 }
 
 // Linearize produces the final layout from (possibly modified) placement
@@ -100,18 +118,18 @@ func PlacePageAware(prog *program.Program, res *trg.Result, pop *popular.Set, cf
 	return place.LinearizePageAware(prog, items, pop.Unpopular(prog), cfg, cfg.NumLines(), res.Select, 4)
 }
 
-func placeCommon(prog *program.Program, res *trg.Result, pop *popular.Set, cfg cache.Config, period int, align func(n1, n2 *node) int) (*program.Layout, error) {
+func placeCommon(prog *program.Program, res *trg.Result, pop *popular.Set, cfg cache.Config, period int, align func(n1, n2 *node) int, m *Metrics) (*program.Layout, error) {
 	if pop == nil {
 		pop = popular.All(prog)
 	}
-	items, err := assign(prog, res, pop, period, align)
+	items, err := assign(prog, res, pop, period, align, m)
 	if err != nil {
 		return nil, err
 	}
 	return place.Linearize(prog, items, pop.Unpopular(prog), cfg, period)
 }
 
-func assign(prog *program.Program, res *trg.Result, pop *popular.Set, period int, align func(n1, n2 *node) int) ([]place.Placed, error) {
+func assign(prog *program.Program, res *trg.Result, pop *popular.Set, period int, align func(n1, n2 *node) int, m *Metrics) ([]place.Placed, error) {
 	if pop == nil {
 		pop = popular.All(prog)
 	}
@@ -138,6 +156,10 @@ func assign(prog *program.Program, res *trg.Result, pop *popular.Set, period int
 			break
 		}
 		n1, n2 := nodes[e.U], nodes[e.V]
+		if m != nil {
+			m.Merges++
+			m.AlignOffsets += int64(period)
+		}
 		off := align(n1, n2)
 		n2.shift(off, period)
 		n1.absorb(n2)

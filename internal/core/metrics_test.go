@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/popular"
+	"repro/internal/program"
+	"repro/internal/trace"
+	"repro/internal/trg"
+)
+
+// TestPlaceCountedMetrics: the counted variant must produce the exact
+// layout of Place while tallying the merge loop — one heaviest-edge merge
+// per recorded iteration, period candidate offsets per merge.
+func TestPlaceCountedMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 12
+	procs := make([]program.Procedure, n)
+	for i := range procs {
+		procs[i] = program.Procedure{Name: string(rune('a' + i)), Size: rng.Intn(500) + 32}
+	}
+	prog := program.MustNew(procs)
+	tr := &trace.Trace{}
+	for i := 0; i < 800; i++ {
+		p := program.ProcID(rng.Intn(n))
+		tr.Append(trace.Event{Proc: p, Extent: int32(prog.Size(p))})
+	}
+	pop := popular.All(prog)
+	res, err := trg.Build(prog, tr, trg.Options{CacheBytes: tinyCache.SizeBytes, Popular: pop})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain, err := Place(prog, res, pop, tinyCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Metrics
+	counted, err := PlaceCounted(prog, res, pop, tinyCache, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, counted) {
+		t.Error("PlaceCounted layout differs from Place")
+	}
+	if m.Merges <= 0 {
+		t.Fatalf("Merges = %d, want > 0 on a connected TRG", m.Merges)
+	}
+	// The merge loop can run at most n-1 times for n popular procedures.
+	if m.Merges > int64(n-1) {
+		t.Errorf("Merges = %d, impossible for %d nodes", m.Merges, n)
+	}
+	if want := m.Merges * int64(tinyCache.NumLines()); m.AlignOffsets != want {
+		t.Errorf("AlignOffsets = %d, want Merges*NumLines = %d", m.AlignOffsets, want)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/graph"
 	"repro/internal/popular"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
 	"repro/internal/trg"
@@ -38,6 +39,13 @@ type Options struct {
 	// any larger value is used as given. Results are index-addressed, so
 	// rendered output is byte-identical at every setting.
 	Parallel int
+	// Telemetry, when non-nil, receives counters, timers and histograms
+	// from the pipeline (trace generation, TRG builds, the GBSC merge
+	// loop, cache simulations). Workers record into per-worker shards that
+	// merge commutatively, so every deterministic value in a snapshot is
+	// identical at any Parallel setting; only wall-clock timers vary. Nil
+	// disables instrumentation at zero cost.
+	Telemetry *telemetry.Registry
 }
 
 func (o *Options) setDefaults() {
@@ -87,14 +95,16 @@ func (o *Options) prepareSuite(cfg cache.Config, par int) (pairs []*tracegen.Pai
 		return nil, nil, err
 	}
 	benches = make([]*bench, len(pairs))
-	err = forEach(par, len(pairs), func(i int) error {
-		b, err := prepare(pairs[i], cfg)
-		if err != nil {
-			return err
-		}
-		benches[i] = b
-		return nil
-	})
+	err = runParallel(par, len(pairs),
+		func() *telemetry.Shard { return o.Telemetry.Shard() },
+		func(sh *telemetry.Shard, i int) error {
+			b, err := prepare(pairs[i], cfg, sh)
+			if err != nil {
+				return err
+			}
+			benches[i] = b
+			return nil
+		})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -115,21 +125,39 @@ type bench struct {
 	trgRes *trg.Result
 }
 
-func prepare(pair *tracegen.Pair, cfg cache.Config) (*bench, error) {
+// prepare generates traces and builds graphs for one benchmark, recording
+// pipeline telemetry into sh (nil-safe). Every recorded counter and
+// histogram is a deterministic function of the benchmark, so shard merges
+// agree at any worker count.
+func prepare(pair *tracegen.Pair, cfg cache.Config, sh *telemetry.Shard) (*bench, error) {
+	stopPrep := sh.Time("prepare/wall")
+	defer stopPrep()
 	b := &bench{pair: pair}
-	b.train = pair.Bench.Trace(pair.Train)
-	b.test = pair.Bench.Trace(pair.Test)
+	b.train = tracegen.Generate(pair.Bench, pair.Train, sh)
+	b.test = tracegen.Generate(pair.Bench, pair.Test, sh)
 	b.pop = popular.Select(pair.Bench.Prog, b.train, popular.Options{})
+	sh.Add("popular/procs", int64(b.pop.Len()))
 	b.wcgFull = wcg.Build(b.train)
 	b.wcgPop = wcg.BuildFiltered(b.train, b.pop.Contains)
-	var err error
-	b.trgRes, err = trg.Build(pair.Bench.Prog, b.train, trg.Options{
+	sh.Add("wcg/full_edges", int64(b.wcgFull.NumEdges()))
+	sh.Add("wcg/popular_edges", int64(b.wcgPop.NumEdges()))
+	stopTRG := sh.Time("trg/build_wall")
+	res, bs, err := trg.BuildWithStats(pair.Bench.Prog, b.train, trg.Options{
 		CacheBytes: cfg.SizeBytes,
 		Popular:    b.pop,
 	})
+	stopTRG()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: building TRG for %s: %w", pair.Bench.Name, err)
 	}
+	b.trgRes = res
+	sh.Add("trg/events_observed", bs.Events)
+	sh.Add("trg/select_nodes", int64(res.Select.NumNodes()))
+	sh.Add("trg/select_edges", int64(res.Select.NumEdges()))
+	sh.Add("trg/place_nodes", int64(res.Place.NumNodes()))
+	sh.Add("trg/place_edges", int64(res.Place.NumEdges()))
+	sh.AddHistogram("trg/q_procs", bs.QLenHist[:], bs.QLenSum, bs.QSteps)
+	sh.Observe("trg/q_max_procs", int64(bs.MaxQLen))
 	return b, nil
 }
 

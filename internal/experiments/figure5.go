@@ -13,6 +13,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/perturb"
 	"repro/internal/program"
+	"repro/internal/telemetry"
 	"repro/internal/trg"
 )
 
@@ -83,8 +84,10 @@ func Figure5(opts Options) (*Figure5Result, error) {
 	}
 
 	err = runParallel(par, len(pairs)*perBench,
-		func() *cache.Sim { return cache.MustNewSim(opts.Cache) },
-		func(sim *cache.Sim, i int) error {
+		func() *figure5State {
+			return &figure5State{sim: cache.MustNewSim(opts.Cache), sh: opts.Telemetry.Shard()}
+		},
+		func(st *figure5State, i int) error {
 			bi, rest := i/perBench, i%perBench
 			ai, run := rest/perAlg, rest%perAlg-1
 			alg := figure5Algs[ai]
@@ -92,7 +95,9 @@ func Figure5(opts Options) (*Figure5Result, error) {
 			if run >= 0 {
 				rng = rand.New(rand.NewSource(opts.Seed + int64(run)*7919))
 			}
-			mr, err := runAlgorithm(alg, benches[bi], opts.Cache, rng, sim)
+			stop := st.sh.Time("figure5/cell_wall")
+			mr, err := runAlgorithm(alg, benches[bi], opts.Cache, rng, st.sim, st.sh)
+			stop()
 			if err != nil {
 				if run < 0 {
 					return fmt.Errorf("%s/%s unperturbed: %w", pairs[bi].Bench.Name, alg, err)
@@ -127,12 +132,20 @@ func Figure5(opts Options) (*Figure5Result, error) {
 	return out, nil
 }
 
+// figure5State is one worker's scratch: a reusable cache simulator plus a
+// telemetry shard (nil when telemetry is off).
+type figure5State struct {
+	sim *cache.Sim
+	sh  *telemetry.Shard
+}
+
 // runAlgorithm computes a placement with optionally perturbed profile data
 // (rng nil = unperturbed) and returns its miss rate on the testing trace.
 // A non-nil sim with a matching configuration is reused (via Reset) instead
 // of allocating a fresh simulator; workers pass their own simulator so no
-// state is shared across goroutines.
-func runAlgorithm(alg AlgorithmName, b *bench, cfg cache.Config, rng *rand.Rand, sim *cache.Sim) (float64, error) {
+// state is shared across goroutines. Counters recorded into sh are per-job
+// work, never per-worker, so shard merges agree at any parallelism.
+func runAlgorithm(alg AlgorithmName, b *bench, cfg cache.Config, rng *rand.Rand, sim *cache.Sim, sh *telemetry.Shard) (float64, error) {
 	maybePerturb := func(g *graph.Graph) *graph.Graph {
 		if rng == nil {
 			return g
@@ -148,23 +161,39 @@ func runAlgorithm(alg AlgorithmName, b *bench, cfg cache.Config, rng *rand.Rand,
 	case AlgHKC:
 		layout, err = baseline.HKC(prog, maybePerturb(b.wcgPop), b.pop, cfg)
 	case AlgGBSC:
+		var m core.Metrics
 		res := &trg.Result{
 			Select:    maybePerturb(b.trgRes.Select),
 			Place:     maybePerturb(b.trgRes.Place),
 			Chunker:   b.trgRes.Chunker,
 			AvgQProcs: b.trgRes.AvgQProcs,
 		}
-		layout, err = core.Place(prog, res, b.pop, cfg)
+		layout, err = core.PlaceCounted(prog, res, b.pop, cfg, &m)
+		if err == nil {
+			sh.Add("gbsc/merges", m.Merges)
+			sh.Add("gbsc/align_offsets", m.AlignOffsets)
+		}
 	default:
 		return 0, fmt.Errorf("unknown algorithm %q", alg)
 	}
 	if err != nil {
 		return 0, err
 	}
+	sh.Add("placements/"+string(alg), 1)
+	var st cache.Stats
 	if sim != nil && sim.Config() == cfg {
-		return sim.RunTrace(layout, b.test).MissRate(), nil
+		st = sim.RunTrace(layout, b.test)
+	} else {
+		st, err = cache.RunTrace(cfg, layout, b.test)
+		if err != nil {
+			return 0, err
+		}
 	}
-	return cache.MissRate(cfg, layout, b.test)
+	sh.Add("cache/refs", st.Refs)
+	sh.Add("cache/misses", st.Misses)
+	sh.Add("cache/cold_misses", st.Cold)
+	sh.Add("cache/conflict_misses", st.Conflict())
+	return st.MissRate(), nil
 }
 
 // Render prints, per benchmark, the unperturbed MR table and distribution

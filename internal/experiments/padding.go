@@ -34,7 +34,7 @@ func Padding(opts Options) (*PaddingResult, error) {
 	if pair == nil {
 		return nil, fmt.Errorf("experiments: benchmark missing from suite")
 	}
-	b, err := prepare(pair, opts.Cache)
+	b, err := prepare(pair, opts.Cache, opts.Telemetry.Shard())
 	if err != nil {
 		return nil, err
 	}

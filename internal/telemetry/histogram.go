@@ -1,0 +1,38 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+)
+
+// NumBuckets is the fixed bucket count of every histogram. Buckets are
+// exponential (base 2): bucket 0 holds values <= 0, bucket i in [1,
+// NumBuckets-2] holds [2^(i-1), 2^i - 1], and the last bucket absorbs
+// everything larger. Fixed, configuration-free edges keep merged shards
+// deterministic: the same observation lands in the same bucket on every
+// worker.
+const NumBuckets = 32
+
+// BucketIndex returns the bucket v falls into.
+func BucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(v))
+	if i > NumBuckets-1 {
+		return NumBuckets - 1
+	}
+	return i
+}
+
+// BucketBounds returns the inclusive value range [lo, hi] of bucket i.
+func BucketBounds(i int) (lo, hi int64) {
+	switch {
+	case i <= 0:
+		return math.MinInt64, 0
+	case i >= NumBuckets-1:
+		return 1 << (NumBuckets - 2), math.MaxInt64
+	default:
+		return 1 << (i - 1), 1<<i - 1
+	}
+}

@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/metrics"
+	"runtime/pprof"
+)
+
+// StartProfiles starts CPU profiling to cpuPath and schedules a heap
+// profile to memPath; either path may be empty to skip that profile. The
+// returned stop function finalizes both (it must run even on error paths,
+// so callers defer it from a function that returns errors rather than
+// calling log.Fatal past it) and is never nil.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return func() error { return nil }, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return func() error { return nil }, err
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); firstErr == nil {
+				firstErr = err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return firstErr
+			}
+			runtime.GC() // flush recently freed objects so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); firstErr == nil {
+				firstErr = err
+			}
+			if err := f.Close(); firstErr == nil {
+				firstErr = err
+			}
+		}
+		if firstErr != nil {
+			return fmt.Errorf("telemetry: finalizing profiles: %w", firstErr)
+		}
+		return nil
+	}, nil
+}
+
+// CPUSeconds returns the process's cumulative user-mode CPU time in
+// seconds, from the runtime's scheduler accounting. The runtime documents
+// these as estimates; they are plenty accurate for per-experiment CPU
+// attribution in run reports.
+func CPUSeconds() float64 {
+	sample := []metrics.Sample{{Name: "/cpu/classes/user:cpu-seconds"}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() != metrics.KindFloat64 {
+		return 0
+	}
+	return sample[0].Value.Float64()
+}

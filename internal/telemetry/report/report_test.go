@@ -1,0 +1,152 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func sampleReport() *Report {
+	reg := telemetry.NewRegistry()
+	sh := reg.Shard()
+	sh.Add("cache/misses", 123)
+	sh.Add("trg/events_observed", 5000)
+	sh.Observe("trg/q_procs", 17)
+	sh.AddDuration("prepare/wall", 42*time.Millisecond)
+
+	r := New("experiments")
+	r.Params["scale"] = "0.05"
+	r.AddMissRate("perl", "GBSC", 0.0123)
+	r.AddMissRate("perl", "PH", 0.0456)
+	r.AddMissRate("m88ksim", "GBSC", 0.031)
+	r.AddSnapshot(reg.Snapshot())
+	r.CaptureAlloc()
+	return r
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	r := sampleReport()
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != Version || got.Cmd != "experiments" {
+		t.Errorf("round trip lost header: %+v", got)
+	}
+	if got.Counters["cache/misses"] != 123 {
+		t.Errorf("counters lost: %v", got.Counters)
+	}
+	if got.Histograms["trg/q_procs"].Count != 1 {
+		t.Errorf("histograms lost: %v", got.Histograms)
+	}
+	if fs := Diff(r, got, DiffOptions{}); HasDrift(fs) {
+		t.Errorf("round-tripped report drifts from itself: %v", fs)
+	}
+	// Benchmarks come back sorted by name, so two Write calls of
+	// equivalent reports serialize identically.
+	if r.Benchmarks[0].Name != "m88ksim" {
+		t.Errorf("benchmarks not sorted: %v", r.Benchmarks[0].Name)
+	}
+}
+
+func TestReadRejectsUnversioned(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"cmd":"x"}`)); err == nil {
+		t.Fatal("expected error for missing version")
+	}
+	if _, err := Read(strings.NewReader(`{"version":1,"bogus_field":3}`)); err == nil {
+		t.Fatal("expected error for unknown field")
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a, b := sampleReport(), sampleReport()
+	// Timers differ between the two (real clock readings), but with
+	// TimingTol unset they must not be compared.
+	if fs := Diff(a, b, DiffOptions{}); HasDrift(fs) {
+		t.Errorf("identical reports drift: %v", fs)
+	}
+}
+
+func TestDiffMissRateDrift(t *testing.T) {
+	a, b := sampleReport(), sampleReport()
+	b.AddMissRate("perl", "GBSC", 0.0125) // +0.0002 absolute
+	if fs := Diff(a, b, DiffOptions{}); !HasDrift(fs) {
+		t.Error("exact comparison missed a changed miss rate")
+	}
+	if fs := Diff(a, b, DiffOptions{MissRateTol: 0.001}); HasDrift(fs) {
+		t.Errorf("drift within tolerance still flagged: %v", fs)
+	}
+	b.AddMissRate("vortex", "GBSC", 0.02) // benchmark only in new
+	fs := Diff(a, b, DiffOptions{MissRateTol: 0.001})
+	if !HasDrift(fs) {
+		t.Error("missing benchmark must be drift")
+	}
+}
+
+func TestDiffCounterDrift(t *testing.T) {
+	a, b := sampleReport(), sampleReport()
+	b.Counters["cache/misses"] = 124
+	if fs := Diff(a, b, DiffOptions{}); !HasDrift(fs) {
+		t.Error("exact comparison missed a changed counter")
+	}
+	if fs := Diff(a, b, DiffOptions{CounterTol: 0.05}); HasDrift(fs) {
+		t.Errorf("counter within 5%% still flagged: %v", fs)
+	}
+	// A counter present on one side only is a note, not a gate failure:
+	// instrumented code paths legitimately differ across flag sets.
+	delete(b.Counters, "trg/events_observed")
+	fs := Diff(a, b, DiffOptions{CounterTol: 0.05})
+	if HasDrift(fs) {
+		t.Errorf("missing counter should be a note: %v", fs)
+	}
+	if len(fs) == 0 {
+		t.Error("missing counter should still be reported")
+	}
+}
+
+func TestDiffHistogramDrift(t *testing.T) {
+	a, b := sampleReport(), sampleReport()
+	h := b.Histograms["trg/q_procs"]
+	h.Sum += 3
+	b.Histograms["trg/q_procs"] = h
+	if fs := Diff(a, b, DiffOptions{}); !HasDrift(fs) {
+		t.Error("exact comparison missed a changed histogram sum")
+	}
+}
+
+func TestDiffTimingGate(t *testing.T) {
+	a, b := sampleReport(), sampleReport()
+	b.Timers["prepare/wall"] = telemetry.TimerStats{Count: 1, TotalNS: 10e9, MaxNS: 10e9}
+	a.Timers["prepare/wall"] = telemetry.TimerStats{Count: 1, TotalNS: 1e9, MaxNS: 1e9}
+	// Off by default.
+	if fs := Diff(a, b, DiffOptions{}); HasDrift(fs) {
+		t.Errorf("timing gated despite TimingTol=0: %v", fs)
+	}
+	// A 10x regression trips a 25% gate.
+	if fs := Diff(a, b, DiffOptions{TimingTol: 0.25}); !HasDrift(fs) {
+		t.Error("10x timing regression not flagged at 25% tolerance")
+	}
+	// But a fast-enough run passes.
+	b.Timers["prepare/wall"] = telemetry.TimerStats{Count: 1, TotalNS: 11e8, MaxNS: 11e8}
+	if fs := Diff(a, b, DiffOptions{TimingTol: 0.25}); HasDrift(fs) {
+		t.Errorf("+10%% timing flagged at 25%% tolerance: %v", fs)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Drift: true, Kind: "missrate", Key: "perl/GBSC", Detail: "x"}
+	if got := f.String(); !strings.HasPrefix(got, "DRIFT ") {
+		t.Errorf("drift finding string = %q", got)
+	}
+	f.Drift = false
+	if got := f.String(); !strings.HasPrefix(got, "note ") {
+		t.Errorf("note finding string = %q", got)
+	}
+}

@@ -1,0 +1,252 @@
+// Package telemetry provides cheap counters, wall-clock timers, and
+// size/latency histograms for the placement pipeline, collected per run in
+// a Registry.
+//
+// The registry is built for the experiment worker pool: each worker asks
+// the registry for its own Shard and records into it without contending
+// with other workers. Snapshot merges every shard with commutative
+// operations (sums, maxima), so the merged result is identical regardless
+// of how many workers existed or how work was scheduled across them —
+// deterministic counters and histograms from a -parallel 8 run are
+// byte-identical to the -parallel 1 run. Wall-clock timers are the one
+// intentionally nondeterministic family; run-report consumers exclude
+// them from equivalence checks.
+//
+// Everything is nil-safe: a nil *Registry hands out nil *Shards, and every
+// Shard method is a no-op on a nil receiver, so instrumented code paths
+// need no "is telemetry enabled" branches.
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Registry owns the shards of one run.
+type Registry struct {
+	mu     sync.Mutex
+	shards []*Shard
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Shard creates and registers a new shard. Callers typically create one
+// shard per worker goroutine; a nil registry returns a nil (no-op) shard.
+func (r *Registry) Shard() *Shard {
+	if r == nil {
+		return nil
+	}
+	s := &Shard{
+		counters: make(map[string]int64),
+		timers:   make(map[string]*timerState),
+		hists:    make(map[string]*histState),
+	}
+	r.mu.Lock()
+	r.shards = append(r.shards, s)
+	r.mu.Unlock()
+	return s
+}
+
+// Shard is one worker's slice of the registry. Every method is safe for
+// concurrent use (a mutex guards the maps), but the intended pattern is
+// one shard per goroutine so the mutex is uncontended.
+type Shard struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	timers   map[string]*timerState
+	hists    map[string]*histState
+}
+
+type timerState struct {
+	count int64
+	total time.Duration
+	max   time.Duration
+}
+
+type histState struct {
+	count   int64
+	sum     int64
+	buckets [NumBuckets]int64
+}
+
+// Add increments the named counter by delta.
+func (s *Shard) Add(name string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.counters[name] += delta
+	s.mu.Unlock()
+}
+
+// Observe records one observation of v in the named histogram.
+func (s *Shard) Observe(name string, v int64) { s.ObserveN(name, v, 1) }
+
+// ObserveN records n observations of v in the named histogram.
+func (s *Shard) ObserveN(name string, v, n int64) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	h := s.hists[name]
+	if h == nil {
+		h = &histState{}
+		s.hists[name] = h
+	}
+	h.count += n
+	h.sum += v * n
+	h.buckets[BucketIndex(v)] += n
+	s.mu.Unlock()
+}
+
+// AddHistogram merges externally accumulated histogram state: buckets must
+// be indexed by the package bucket rule (BucketIndex) and may be shorter
+// than NumBuckets; sum and count are the total observed value and
+// observation count. Producers that cannot afford a shard call per event
+// (e.g. the TRG builder, one event per trace activation) accumulate a
+// local bucket array and merge it once.
+func (s *Shard) AddHistogram(name string, buckets []int64, sum, count int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	h := s.hists[name]
+	if h == nil {
+		h = &histState{}
+		s.hists[name] = h
+	}
+	h.count += count
+	h.sum += sum
+	for i, b := range buckets {
+		if i >= NumBuckets {
+			break
+		}
+		h.buckets[i] += b
+	}
+	s.mu.Unlock()
+}
+
+// AddDuration records one completed interval in the named timer.
+func (s *Shard) AddDuration(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	t := s.timers[name]
+	if t == nil {
+		t = &timerState{}
+		s.timers[name] = t
+	}
+	t.count++
+	t.total += d
+	if d > t.max {
+		t.max = d
+	}
+	s.mu.Unlock()
+}
+
+// Time starts a wall-clock interval for the named timer and returns the
+// function that ends it. Usage: stop := sh.Time("phase"); ...; stop().
+func (s *Shard) Time(name string) func() {
+	if s == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { s.AddDuration(name, time.Since(start)) }
+}
+
+// TimerStats is a merged timer: invocation count plus total and maximum
+// duration in nanoseconds. Wall-clock values vary run to run; run-report
+// consumers gate on them only when explicitly asked to.
+type TimerStats struct {
+	Count   int64 `json:"count"`
+	TotalNS int64 `json:"total_ns"`
+	MaxNS   int64 `json:"max_ns"`
+}
+
+// TotalSeconds returns the total duration in seconds.
+func (t TimerStats) TotalSeconds() float64 { return float64(t.TotalNS) / 1e9 }
+
+// HistogramStats is a merged histogram: observation count, summed value,
+// and per-bucket counts (indexed by BucketIndex, trailing zero buckets
+// trimmed).
+type HistogramStats struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Buckets []int64 `json:"buckets"`
+}
+
+// Mean returns the average observed value, or 0 for an empty histogram.
+func (h HistogramStats) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Snapshot is the deterministic merge of every shard of a registry.
+type Snapshot struct {
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Timers     map[string]TimerStats     `json:"timers,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+}
+
+// Snapshot merges all shards. Counters and histogram buckets merge by
+// summation and timer maxima by max, all commutative, so the result does
+// not depend on shard count or creation order. A nil registry yields an
+// empty snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{
+		Counters:   map[string]int64{},
+		Timers:     map[string]TimerStats{},
+		Histograms: map[string]HistogramStats{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	shards := append([]*Shard(nil), r.shards...)
+	r.mu.Unlock()
+	for _, s := range shards {
+		s.mu.Lock()
+		for name, v := range s.counters {
+			snap.Counters[name] += v
+		}
+		for name, t := range s.timers {
+			m := snap.Timers[name]
+			m.Count += t.count
+			m.TotalNS += int64(t.total)
+			if int64(t.max) > m.MaxNS {
+				m.MaxNS = int64(t.max)
+			}
+			snap.Timers[name] = m
+		}
+		for name, h := range s.hists {
+			m, ok := snap.Histograms[name]
+			if !ok {
+				m = HistogramStats{Buckets: make([]int64, NumBuckets)}
+			}
+			m.Count += h.count
+			m.Sum += h.sum
+			for i, b := range h.buckets {
+				m.Buckets[i] += b
+			}
+			snap.Histograms[name] = m
+		}
+		s.mu.Unlock()
+	}
+	for name, h := range snap.Histograms {
+		h.Buckets = trimTrailingZeros(h.Buckets)
+		snap.Histograms[name] = h
+	}
+	return snap
+}
+
+func trimTrailingZeros(b []int64) []int64 {
+	n := len(b)
+	for n > 0 && b[n-1] == 0 {
+		n--
+	}
+	return b[:n]
+}

@@ -1,0 +1,21 @@
+package tracegen
+
+import (
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// Generate interprets the benchmark model under in, exactly like
+// (*Benchmark).Trace, while recording generation wall time and event
+// volume into sh — events divided by the tracegen/gen_wall timer total is
+// the generator's events/sec. sh may be nil (no-op): the experiment
+// harness passes a per-worker telemetry shard, the CLIs pass one only
+// under -stats.
+func Generate(b *Benchmark, in Input, sh *telemetry.Shard) *trace.Trace {
+	stop := sh.Time("tracegen/gen_wall")
+	tr := b.Trace(in)
+	stop()
+	sh.Add("tracegen/traces", 1)
+	sh.Add("tracegen/events", int64(tr.Len()))
+	return tr
+}

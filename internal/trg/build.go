@@ -57,14 +57,21 @@ type Result struct {
 // TRG_place simultaneously (Section 4.1 notes this is straightforward).
 // It is the batch counterpart of the online Builder.
 func Build(prog *program.Program, tr *trace.Trace, opts Options) (*Result, error) {
+	res, _, err := BuildWithStats(prog, tr, opts)
+	return res, err
+}
+
+// BuildWithStats is Build, additionally returning the construction-effort
+// summary (event counts, queue occupancy) for the telemetry layer.
+func BuildWithStats(prog *program.Program, tr *trace.Trace, opts Options) (*Result, BuildStats, error) {
 	b, err := NewBuilder(prog, opts, false)
 	if err != nil {
-		return nil, err
+		return nil, BuildStats{}, err
 	}
 	for _, e := range tr.Events {
 		b.Observe(e)
 	}
-	return b.Result(), nil
+	return b.Result(), b.BuildStats(), nil
 }
 
 // PairKey identifies an entry of the pair database D(p,{r,s}); R < S.

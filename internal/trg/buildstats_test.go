@@ -1,0 +1,72 @@
+package trg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/program"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// TestBuildStatsCoherence checks the internal consistency of the
+// construction-effort summary on a randomized trace: event counts match
+// the (unfiltered) trace, the histogram tallies exactly the QSteps
+// observations, the high-water mark bounds every bucketed value, and the
+// AvgQProcs the Result reports is QLenSum/QSteps.
+func TestBuildStatsCoherence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 10
+	procs := make([]program.Procedure, n)
+	for i := range procs {
+		procs[i] = program.Procedure{Name: string(rune('a' + i)), Size: rng.Intn(700) + 1}
+	}
+	prog := program.MustNew(procs)
+	tr := &trace.Trace{}
+	for i := 0; i < 600; i++ {
+		p := program.ProcID(rng.Intn(n))
+		tr.Append(trace.Event{Proc: p, Extent: int32(rng.Intn(prog.Size(p)) + 1)})
+	}
+
+	res, bs, err := BuildWithStats(prog, tr, Options{CacheBytes: 512, ChunkSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Events != int64(len(tr.Events)) {
+		t.Errorf("Events = %d, want %d (no popularity filter)", bs.Events, len(tr.Events))
+	}
+	if bs.QSteps != bs.Events {
+		t.Errorf("QSteps = %d, want one per event (%d)", bs.QSteps, bs.Events)
+	}
+	var histTotal int64
+	for i, c := range bs.QLenHist {
+		histTotal += c
+		if c > 0 {
+			lo, _ := telemetry.BucketBounds(i)
+			if lo > int64(bs.MaxQLen) {
+				t.Errorf("bucket %d ([%d,...]) populated beyond MaxQLen %d", i, lo, bs.MaxQLen)
+			}
+		}
+	}
+	if histTotal != bs.QSteps {
+		t.Errorf("histogram total = %d, want QSteps %d", histTotal, bs.QSteps)
+	}
+	if bs.MaxQLen <= 0 || int64(bs.MaxQLen) > bs.QLenSum {
+		t.Errorf("MaxQLen = %d implausible against QLenSum %d", bs.MaxQLen, bs.QLenSum)
+	}
+	want := float64(bs.QLenSum) / float64(bs.QSteps)
+	if res.AvgQProcs != want {
+		t.Errorf("AvgQProcs = %v, want QLenSum/QSteps = %v", res.AvgQProcs, want)
+	}
+
+	// Build must agree with BuildWithStats on the graphs it returns.
+	only, err := Build(prog, tr, Options{CacheBytes: 512, ChunkSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if only.AvgQProcs != res.AvgQProcs ||
+		only.Select.NumEdges() != res.Select.NumEdges() ||
+		only.Place.NumEdges() != res.Place.NumEdges() {
+		t.Error("Build and BuildWithStats disagree on the result")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/program"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -30,6 +31,27 @@ type Builder struct {
 	qLenSum int64
 	qSteps  int64
 	events  int64
+	maxQLen int
+	// qHist buckets the Q population observed after every activation with
+	// telemetry.BucketIndex; a plain array so the per-event cost is one
+	// increment, merged into a shard wholesale by whoever wants it.
+	qHist [telemetry.NumBuckets]int64
+}
+
+// BuildStats summarizes one builder's construction effort: the inputs the
+// telemetry layer reports as TRG build counters and the queue-occupancy
+// histogram. All values are deterministic functions of the observed trace.
+type BuildStats struct {
+	// Events is the number of activations observed after popularity
+	// filtering.
+	Events int64
+	// QSteps and QLenSum reproduce the Table 1 average Q population
+	// (QLenSum/QSteps); MaxQLen is the high-water mark.
+	QSteps  int64
+	QLenSum int64
+	MaxQLen int
+	// QLenHist counts Q populations per telemetry bucket (BucketIndex).
+	QLenHist [telemetry.NumBuckets]int64
 }
 
 // NewBuilder creates an online TRG builder. Set trackPairs to also build
@@ -80,8 +102,13 @@ func (b *Builder) Observe(e trace.Event) {
 	b.qSel.Touch(id, ext, func(between BlockID) {
 		b.sel.Increment(id, between)
 	})
-	b.qLenSum += int64(b.qSel.Len())
+	qLen := b.qSel.Len()
+	b.qLenSum += int64(qLen)
 	b.qSteps++
+	if qLen > b.maxQLen {
+		b.maxQLen = qLen
+	}
+	b.qHist[telemetry.BucketIndex(int64(qLen))]++
 
 	// Chunk granularity → TRG_place (+ pair database).
 	n := program.CeilDiv(ext, b.chunker.ChunkSize())
@@ -117,6 +144,17 @@ func (b *Builder) Result() *Result {
 		res.AvgQProcs = float64(b.qLenSum) / float64(b.qSteps)
 	}
 	return res
+}
+
+// BuildStats returns the construction-effort summary accumulated so far.
+func (b *Builder) BuildStats() BuildStats {
+	return BuildStats{
+		Events:   b.events,
+		QSteps:   b.qSteps,
+		QLenSum:  b.qLenSum,
+		MaxQLen:  b.maxQLen,
+		QLenHist: b.qHist,
+	}
 }
 
 // Pairs returns the pair database, or nil if pair tracking was disabled.
