@@ -1,14 +1,14 @@
 # Development and CI entry points. `make ci` is the gate every change must
-# pass: formatting, vet, build, the full test suite under the race detector
-# (the experiment worker pool runs concurrently in several tests, so -race
-# is mandatory, not optional), and one iteration of every benchmark as a
-# smoke test of the measurement loop.
+# pass: formatting, vet + the custom lint suite, build, the full test suite
+# under the race detector (the experiment worker pool runs concurrently in
+# several tests, so -race is mandatory, not optional), and one iteration of
+# every benchmark as a smoke test of the measurement loop.
 
 GO ?= go
 
-.PHONY: ci fmt fmt-check vet build test race bench experiments golden-smoke
+.PHONY: ci fmt fmt-check vet lint build test race bench experiments golden-smoke
 
-ci: fmt-check vet build race bench
+ci: fmt-check vet lint build race bench
 
 fmt:
 	gofmt -w .
@@ -20,6 +20,14 @@ fmt-check:
 
 vet:
 	$(GO) vet ./...
+
+# Custom analyzers (tools/analyzers): determinism rules over the pipeline
+# packages and the run()-pattern/Close-error rules over cmd binaries. The
+# selftest proves the analyzers still catch the known-bad fixtures before
+# the clean repo run is trusted.
+lint:
+	$(GO) run ./cmd/repolint -selftest
+	$(GO) run ./cmd/repolint
 
 build:
 	$(GO) build ./...

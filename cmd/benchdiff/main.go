@@ -14,6 +14,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -22,10 +23,23 @@ import (
 	"repro/internal/telemetry/report"
 )
 
+// errDrift marks the "comparison ran fine, the reports disagree" outcome,
+// which exits 1; every other error is a usage or I/O failure and exits 2.
+var errDrift = errors.New("reports drifted")
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchdiff: ")
+	if err := run(); err != nil {
+		if errors.Is(err, errDrift) {
+			os.Exit(1)
+		}
+		log.Print(err)
+		os.Exit(2)
+	}
+}
 
+func run() error {
 	missTol := flag.Float64("miss-tol", 0, "absolute miss-rate drift tolerated per benchmark/algorithm cell (0 = exact)")
 	counterTol := flag.Float64("counter-tol", 0, "relative counter/histogram drift tolerated (0 = exact)")
 	timingTol := flag.Float64("timing-tol", 0, "fractional timing regression tolerated; 0 disables timing comparison (timings are machine-dependent)")
@@ -37,18 +51,16 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 2 {
 		flag.Usage()
-		os.Exit(2)
+		return errors.New("expected exactly two report files")
 	}
 
 	oldRep, err := readReport(flag.Arg(0))
 	if err != nil {
-		log.Print(err)
-		os.Exit(2)
+		return err
 	}
 	newRep, err := readReport(flag.Arg(1))
 	if err != nil {
-		log.Print(err)
-		os.Exit(2)
+		return err
 	}
 
 	findings := report.Diff(oldRep, newRep, report.DiffOptions{
@@ -56,6 +68,8 @@ func main() {
 		CounterTol:  *counterTol,
 		TimingTol:   *timingTol,
 	})
+	// Every drift finding is printed before the verdict: one run names all
+	// drifting keys and aspects, rather than surfacing them one at a time.
 	drift := 0
 	for _, f := range findings {
 		if f.Drift {
@@ -67,9 +81,10 @@ func main() {
 	}
 	if drift > 0 {
 		fmt.Printf("benchdiff: %d drift finding(s) between %s and %s\n", drift, flag.Arg(0), flag.Arg(1))
-		os.Exit(1)
+		return errDrift
 	}
 	fmt.Printf("benchdiff: no drift between %s and %s\n", flag.Arg(0), flag.Arg(1))
+	return nil
 }
 
 func readReport(path string) (*report.Report, error) {
@@ -77,8 +92,10 @@ func readReport(path string) (*report.Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
 	r, err := report.Read(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}

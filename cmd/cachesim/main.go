@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/invariant"
 	"repro/internal/program"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/report"
@@ -45,8 +46,13 @@ func run() error {
 	statsPath := flag.String("stats", "", "write a JSON run report to this path")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path")
+	checkFlag := flag.String("check", "fatal", "layout invariant checking: fatal, warn, or off")
 	flag.Parse()
 
+	checkMode, err := invariant.ParseMode(*checkFlag)
+	if err != nil {
+		return err
+	}
 	if *progPath == "" || *tracePath == "" {
 		return fmt.Errorf("-prog and -trace are required")
 	}
@@ -66,7 +72,9 @@ func run() error {
 		return err
 	}
 	prog, err := program.ReadDescription(pf)
-	pf.Close()
+	if cerr := pf.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return err
 	}
@@ -80,7 +88,9 @@ func run() error {
 			return err
 		}
 		layout, err = program.ReadLayout(lf, prog)
-		lf.Close()
+		if cerr := lf.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return err
 		}
@@ -94,7 +104,9 @@ func run() error {
 		return err
 	}
 	tr, err := trace.ReadBinary(tf)
-	tf.Close()
+	if cerr := tf.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return err
 	}
@@ -103,6 +115,13 @@ func run() error {
 	}
 
 	cfg := cache.Config{SizeBytes: *cacheBytes, LineBytes: *lineBytes, Assoc: *assoc}
+	// Universal invariants only: an externally supplied layout carries no
+	// popularity or alignment claims, so gaps are legal — but duplicates,
+	// overlaps, and byte loss never are.
+	vs := invariant.CheckLayout(prog, layout, invariant.LayoutOptions{Cache: cfg})
+	if err := invariant.Enforce(checkMode, "cachesim/layout", vs, log.Printf); err != nil {
+		return err
+	}
 	fmt.Printf("cache: %dB, %dB lines, %d-way\n", cfg.SizeBytes, cfg.LineBytes, cfg.Assoc)
 
 	var rep *report.Report

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/invariant"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/report"
 )
@@ -52,7 +53,13 @@ func run() error {
 	statsPath := flag.String("stats", "", "write a JSON run report to this path")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path")
+	checkFlag := flag.String("check", "fatal", "layout/TRG invariant checking: fatal, warn, or off")
 	flag.Parse()
+
+	checkMode, err := invariant.ParseMode(*checkFlag)
+	if err != nil {
+		return err
+	}
 
 	stopProf, err := telemetry.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -64,7 +71,7 @@ func run() error {
 		}
 	}()
 
-	opts := experiments.Options{Scale: *scale, Runs: *runs, Seed: *seed, Parallel: *parallel}
+	opts := experiments.Options{Scale: *scale, Runs: *runs, Seed: *seed, Parallel: *parallel, Check: checkMode}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/invariant"
 	"repro/internal/popular"
 	"repro/internal/program"
 	"repro/internal/telemetry"
@@ -49,8 +50,13 @@ func run() error {
 	pageAware := flag.Bool("pagelocal", false, "use the page-locality linearization (gbsc only)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path")
+	checkFlag := flag.String("check", "fatal", "layout invariant checking: fatal, warn, or off")
 	flag.Parse()
 
+	checkMode, err := invariant.ParseMode(*checkFlag)
+	if err != nil {
+		return err
+	}
 	if *progPath == "" {
 		return fmt.Errorf("-prog is required")
 	}
@@ -70,7 +76,9 @@ func run() error {
 		return err
 	}
 	prog, err := program.ReadDescription(pf)
-	pf.Close()
+	if cerr := pf.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return err
 	}
@@ -82,7 +90,9 @@ func run() error {
 			return err
 		}
 		tr, err = trace.ReadBinary(tf)
-		tf.Close()
+		if cerr := tf.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return err
 		}
@@ -102,14 +112,21 @@ func run() error {
 	}
 
 	var l *program.Layout
+	// Each algorithm class claims different structural guarantees, checked
+	// after the fact: packed layouts may not have gaps, the GBSC family must
+	// line-align its popular procedures, HKC promises neither.
+	checkOpts := invariant.LayoutOptions{Cache: cfg}
 	switch *alg {
 	case "default":
 		l = program.DefaultLayout(prog)
+		checkOpts.RequirePacked = true
 	case "ph":
 		l, err = baseline.PHLayout(prog, wcg.Build(tr))
+		checkOpts.RequirePacked = true
 	case "hkc":
 		pop := popular.Select(prog, tr, popular.Options{})
 		l, err = baseline.HKC(prog, wcg.BuildFiltered(tr, pop.Contains), pop, cfg)
+		checkOpts.Popular = pop
 	case "gbsc":
 		pop := popular.Select(prog, tr, popular.Options{})
 		var res *trg.Result
@@ -122,6 +139,9 @@ func run() error {
 			} else {
 				l, err = core.Place(prog, res, pop, cfg)
 			}
+			checkOpts.Popular = pop
+			checkOpts.Chunker = res.Chunker
+			checkOpts.RequireAlignedPopular = true
 		}
 	case "gbsc2":
 		pop := popular.Select(prog, tr, popular.Options{})
@@ -132,6 +152,12 @@ func run() error {
 		})
 		if err == nil {
 			l, err = core.PlaceAssoc(prog, res, db, pop, cfg)
+			checkOpts.Popular = pop
+			checkOpts.Chunker = res.Chunker
+			// Section 6 aligns popular procedures to set boundaries, so the
+			// placement period is the set count.
+			checkOpts.Period = cfg.NumSets()
+			checkOpts.RequireAlignedPopular = true
 		}
 	default:
 		return fmt.Errorf("unknown algorithm %q", *alg)
@@ -141,6 +167,10 @@ func run() error {
 	}
 	if err := l.Validate(); err != nil {
 		return fmt.Errorf("internal error: produced invalid layout: %w", err)
+	}
+	vs := invariant.CheckLayout(prog, l, checkOpts)
+	if err := invariant.Enforce(checkMode, "layout/"+*alg, vs, log.Printf); err != nil {
+		return err
 	}
 
 	emit := func(w io.Writer) error {

@@ -63,7 +63,9 @@ func run() error {
 		return err
 	}
 	prog, err := program.ReadDescription(pf)
-	pf.Close()
+	if cerr := pf.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return err
 	}
@@ -72,7 +74,9 @@ func run() error {
 		return err
 	}
 	tr, err := trace.ReadBinary(tf)
-	tf.Close()
+	if cerr := tf.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return err
 	}

@@ -76,6 +76,9 @@ func Ablations(opts Options) (*AblationsResult, error) {
 			if err != nil {
 				return 0, err
 			}
+			if err := checkAligned(opts.Check, rows[bi].Name+"/ablation-gbsc", prog, l, b.pop, opts.Cache); err != nil {
+				return 0, err
+			}
 			return cache.MissRate(opts.Cache, l, b.test)
 		}
 
@@ -98,7 +101,9 @@ func Ablations(opts Options) (*AblationsResult, error) {
 		case 4:
 			var phTRG *program.Layout
 			if phTRG, err = baseline.PHLayout(prog, b.trgRes.Select); err == nil {
-				rows[bi].PHWithTRG, err = cache.MissRate(opts.Cache, phTRG, b.test)
+				if err = checkPacked(opts.Check, rows[bi].Name+"/ph+trg", prog, phTRG); err == nil {
+					rows[bi].PHWithTRG, err = cache.MissRate(opts.Cache, phTRG, b.test)
+				}
 			}
 		}
 		return err

@@ -125,10 +125,14 @@ func BlockReorder(opts Options) (*BlockReorderResult, error) {
 	// A small cache so the interpreter-sized workload contends.
 	cfg := cache.Config{SizeBytes: 4096, LineBytes: 32, Assoc: 1}
 
-	if res.DefaultOrderDefaultLayout, err = cache.MissRate(cfg, program.DefaultLayout(prog), defTest); err != nil {
+	def := program.DefaultLayout(prog)
+	if err := checkPacked(opts.Check, "blockreorder/default", prog, def); err != nil {
 		return nil, err
 	}
-	run := func(train, test *trace.Trace) (float64, error) {
+	if res.DefaultOrderDefaultLayout, err = cache.MissRate(cfg, def, defTest); err != nil {
+		return nil, err
+	}
+	run := func(name string, train, test *trace.Trace) (float64, error) {
 		pop := popular.Select(prog, train, popular.Options{})
 		r, err := trg.Build(prog, train, trg.Options{CacheBytes: cfg.SizeBytes, Popular: pop})
 		if err != nil {
@@ -138,12 +142,15 @@ func BlockReorder(opts Options) (*BlockReorderResult, error) {
 		if err != nil {
 			return 0, err
 		}
+		if err := checkAligned(opts.Check, "blockreorder/"+name, prog, l, pop, cfg); err != nil {
+			return 0, err
+		}
 		return cache.MissRate(cfg, l, test)
 	}
-	if res.DefaultOrderGBSC, err = run(defTrain, defTest); err != nil {
+	if res.DefaultOrderGBSC, err = run("source-order", defTrain, defTest); err != nil {
 		return nil, err
 	}
-	if res.ReorderedGBSC, err = run(reordTrain, reordTest); err != nil {
+	if res.ReorderedGBSC, err = run("reordered", reordTrain, reordTest); err != nil {
 		return nil, err
 	}
 	return res, nil

@@ -7,10 +7,12 @@ package experiments
 
 import (
 	"fmt"
+	"log"
 	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/graph"
+	"repro/internal/invariant"
 	"repro/internal/popular"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -46,6 +48,12 @@ type Options struct {
 	// identical at any Parallel setting; only wall-clock timers vary. Nil
 	// disables instrumentation at zero cost.
 	Telemetry *telemetry.Registry
+	// Check selects how layout/TRG invariant violations found by the
+	// always-on post-pass are handled. The zero value is
+	// invariant.ModeFatal: a malformed layout fails the experiment rather
+	// than contributing a bogus miss rate. ModeWarn logs to stderr and
+	// continues; ModeOff disables the checks.
+	Check invariant.Mode
 }
 
 func (o *Options) setDefaults() {
@@ -98,7 +106,7 @@ func (o *Options) prepareSuite(cfg cache.Config, par int) (pairs []*tracegen.Pai
 	err = runParallel(par, len(pairs),
 		func() *telemetry.Shard { return o.Telemetry.Shard() },
 		func(sh *telemetry.Shard, i int) error {
-			b, err := prepare(pairs[i], cfg, sh)
+			b, err := prepare(pairs[i], cfg, sh, o.Check)
 			if err != nil {
 				return err
 			}
@@ -128,8 +136,9 @@ type bench struct {
 // prepare generates traces and builds graphs for one benchmark, recording
 // pipeline telemetry into sh (nil-safe). Every recorded counter and
 // histogram is a deterministic function of the benchmark, so shard merges
-// agree at any worker count.
-func prepare(pair *tracegen.Pair, cfg cache.Config, sh *telemetry.Shard) (*bench, error) {
+// agree at any worker count. The freshly built TRGs are verified under
+// check before any placement consumes them.
+func prepare(pair *tracegen.Pair, cfg cache.Config, sh *telemetry.Shard, check invariant.Mode) (*bench, error) {
 	stopPrep := sh.Time("prepare/wall")
 	defer stopPrep()
 	b := &bench{pair: pair}
@@ -151,6 +160,12 @@ func prepare(pair *tracegen.Pair, cfg cache.Config, sh *telemetry.Shard) (*bench
 		return nil, fmt.Errorf("experiments: building TRG for %s: %w", pair.Bench.Name, err)
 	}
 	b.trgRes = res
+	if check != invariant.ModeOff {
+		vs := invariant.CheckTRG(pair.Bench.Prog, res, bs, b.pop)
+		if err := invariant.Enforce(check, pair.Bench.Name+"/trg", vs, log.Printf); err != nil {
+			return nil, err
+		}
+	}
 	sh.Add("trg/events_observed", bs.Events)
 	sh.Add("trg/select_nodes", int64(res.Select.NumNodes()))
 	sh.Add("trg/select_edges", int64(res.Select.NumEdges()))

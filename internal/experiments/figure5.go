@@ -11,6 +11,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/invariant"
 	"repro/internal/perturb"
 	"repro/internal/program"
 	"repro/internal/telemetry"
@@ -96,7 +97,7 @@ func Figure5(opts Options) (*Figure5Result, error) {
 				rng = rand.New(rand.NewSource(opts.Seed + int64(run)*7919))
 			}
 			stop := st.sh.Time("figure5/cell_wall")
-			mr, err := runAlgorithm(alg, benches[bi], opts.Cache, rng, st.sim, st.sh)
+			mr, err := runAlgorithm(alg, benches[bi], opts.Cache, rng, st.sim, st.sh, opts.Check)
 			stop()
 			if err != nil {
 				if run < 0 {
@@ -144,8 +145,9 @@ type figure5State struct {
 // A non-nil sim with a matching configuration is reused (via Reset) instead
 // of allocating a fresh simulator; workers pass their own simulator so no
 // state is shared across goroutines. Counters recorded into sh are per-job
-// work, never per-worker, so shard merges agree at any parallelism.
-func runAlgorithm(alg AlgorithmName, b *bench, cfg cache.Config, rng *rand.Rand, sim *cache.Sim, sh *telemetry.Shard) (float64, error) {
+// work, never per-worker, so shard merges agree at any parallelism. Every
+// layout is verified under check before it is simulated.
+func runAlgorithm(alg AlgorithmName, b *bench, cfg cache.Config, rng *rand.Rand, sim *cache.Sim, sh *telemetry.Shard, check invariant.Mode) (float64, error) {
 	maybePerturb := func(g *graph.Graph) *graph.Graph {
 		if rng == nil {
 			return g
@@ -175,6 +177,19 @@ func runAlgorithm(alg AlgorithmName, b *bench, cfg cache.Config, rng *rand.Rand,
 		}
 	default:
 		return 0, fmt.Errorf("unknown algorithm %q", alg)
+	}
+	if err != nil {
+		return 0, err
+	}
+	context := b.pair.Bench.Name + "/" + string(alg)
+	switch alg {
+	case AlgPH:
+		err = checkPacked(check, context, prog, layout)
+	case AlgGBSC:
+		err = checkAligned(check, context, prog, layout, b.pop, cfg)
+	default:
+		// HKC aligns only the compound procedures it colors.
+		err = checkGeneral(check, context, prog, layout, b.pop, cfg)
 	}
 	if err != nil {
 		return 0, err

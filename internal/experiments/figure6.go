@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/invariant"
 	"repro/internal/metrics"
 	"repro/internal/place"
 	"repro/internal/tracegen"
@@ -51,7 +52,7 @@ func Figure6(opts Options) (*Figure6Result, error) {
 	if pair == nil {
 		return nil, fmt.Errorf("experiments: go benchmark missing from suite")
 	}
-	b, err := prepare(pair, opts.Cache, opts.Telemetry.Shard())
+	b, err := prepare(pair, opts.Cache, opts.Telemetry.Shard(), opts.Check)
 	if err != nil {
 		return nil, err
 	}
@@ -86,6 +87,14 @@ func Figure6(opts Options) (*Figure6Result, error) {
 		func(sim *cache.Sim, i int) error {
 			layout, err := core.Linearize(prog, mutations[i], b.pop, opts.Cache)
 			if err != nil {
+				return err
+			}
+			// Each randomized layout must still honor its mutated line
+			// assignments exactly — that is what the metric evaluates.
+			if err := checkLayout(opts.Check, fmt.Sprintf("figure6/point%d", i), prog, layout, invariant.LayoutOptions{
+				Cache: opts.Cache, Popular: b.pop, Placed: mutations[i],
+				Chunker: b.trgRes.Chunker, RequireAlignedPopular: true,
+			}); err != nil {
 				return err
 			}
 			res.Points[i] = Figure6Point{

@@ -8,6 +8,7 @@ import (
 	"repro/internal/anneal"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/invariant"
 	"repro/internal/metrics"
 )
 
@@ -40,7 +41,7 @@ func Headroom(opts Options) (*HeadroomResult, error) {
 	rows := make([]HeadroomRow, len(pairs))
 	err = forEach(opts.parallelism(), len(pairs), func(i int) error {
 		pair := pairs[i]
-		b, err := prepare(pair, opts.Cache, opts.Telemetry.Shard())
+		b, err := prepare(pair, opts.Cache, opts.Telemetry.Shard(), opts.Check)
 		if err != nil {
 			return err
 		}
@@ -55,6 +56,12 @@ func Headroom(opts Options) (*HeadroomResult, error) {
 		if err != nil {
 			return err
 		}
+		if err := checkLayout(opts.Check, row.Name+"/headroom-gbsc", prog, gl, invariant.LayoutOptions{
+			Cache: opts.Cache, Popular: b.pop, Placed: items,
+			Chunker: b.trgRes.Chunker, RequireAlignedPopular: true,
+		}); err != nil {
+			return err
+		}
 		if row.GBSCMR, err = cache.MissRate(opts.Cache, gl, b.test); err != nil {
 			return err
 		}
@@ -66,6 +73,9 @@ func Headroom(opts Options) (*HeadroomResult, error) {
 			Init:  items,
 		})
 		if err != nil {
+			return err
+		}
+		if err := checkAligned(opts.Check, row.Name+"/headroom-anneal", prog, al, b.pop, opts.Cache); err != nil {
 			return err
 		}
 		if row.AnnealMR, err = cache.MissRate(opts.Cache, al, b.test); err != nil {

@@ -66,12 +66,20 @@ func Optimality(opts Options) (*OptimalityResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Both layouts come from place.Linearize with every procedure
+		// popular, so full alignment applies.
+		if err := checkAligned(opts.Check, fmt.Sprintf("optimality/seed%d/optimal", seed), prog, opt.Layout, nil, tiny); err != nil {
+			return nil, err
+		}
 		trgRes, err := trg.Build(prog, tr, trg.Options{CacheBytes: tiny.SizeBytes, ChunkSize: 32})
 		if err != nil {
 			return nil, err
 		}
 		gl, err := core.Place(prog, trgRes, nil, tiny)
 		if err != nil {
+			return nil, err
+		}
+		if err := checkAligned(opts.Check, fmt.Sprintf("optimality/seed%d/gbsc", seed), prog, gl, nil, tiny); err != nil {
 			return nil, err
 		}
 		st, err := cache.RunTrace(tiny, gl, tr)

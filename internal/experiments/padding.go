@@ -34,7 +34,7 @@ func Padding(opts Options) (*PaddingResult, error) {
 	if pair == nil {
 		return nil, fmt.Errorf("experiments: benchmark missing from suite")
 	}
-	b, err := prepare(pair, opts.Cache, opts.Telemetry.Shard())
+	b, err := prepare(pair, opts.Cache, opts.Telemetry.Shard(), opts.Check)
 	if err != nil {
 		return nil, err
 	}
@@ -42,11 +42,19 @@ func Padding(opts Options) (*PaddingResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := checkAligned(opts.Check, pair.Bench.Name+"/padding-base", pair.Bench.Prog, layout, b.pop, opts.Cache); err != nil {
+		return nil, err
+	}
 	base, err := cache.MissRate(opts.Cache, layout, b.test)
 	if err != nil {
 		return nil, err
 	}
 	padded := layout.PadAll(opts.Cache.LineBytes)
+	// The padded variant deliberately inserts gaps; only the universal
+	// invariants apply.
+	if err := checkGeneral(opts.Check, pair.Bench.Name+"/padding-padded", pair.Bench.Prog, padded, b.pop, opts.Cache); err != nil {
+		return nil, err
+	}
 	pad, err := cache.MissRate(opts.Cache, padded, b.test)
 	if err != nil {
 		return nil, err

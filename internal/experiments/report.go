@@ -1,6 +1,10 @@
 package experiments
 
-import "repro/internal/telemetry/report"
+import (
+	"sort"
+
+	"repro/internal/telemetry/report"
+)
 
 // Record copies the machine-gateable numbers out of an experiment result
 // into a run report. Only results with per-benchmark miss rates contribute;
@@ -18,8 +22,13 @@ func Record(rep *report.Report, result any) {
 		}
 	case *Figure5Result:
 		for _, fb := range r.Benches {
-			for alg, mr := range fb.Unperturbed {
-				rep.AddMissRate(fb.Name, string(alg), mr)
+			algs := make([]string, 0, len(fb.Unperturbed))
+			for alg := range fb.Unperturbed {
+				algs = append(algs, string(alg))
+			}
+			sort.Strings(algs)
+			for _, alg := range algs {
+				rep.AddMissRate(fb.Name, alg, fb.Unperturbed[AlgorithmName(alg)])
 			}
 		}
 	}

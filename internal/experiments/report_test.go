@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/telemetry/report"
+)
+
+// TestRecordDeterministic locks in Record's contract: feeding the same
+// result into fresh reports must produce byte-identical artifacts, which
+// means the assembly loop may not depend on map iteration order.
+func TestRecordDeterministic(t *testing.T) {
+	result := &Figure5Result{
+		Benches: []Figure5Bench{
+			{
+				Name: "perl",
+				Unperturbed: map[AlgorithmName]float64{
+					AlgPH: 0.04, AlgHKC: 0.03, AlgGBSC: 0.02,
+				},
+			},
+			{
+				Name: "vortex",
+				Unperturbed: map[AlgorithmName]float64{
+					AlgPH: 0.07, AlgHKC: 0.06, AlgGBSC: 0.05,
+				},
+			},
+		},
+	}
+	render := func() []byte {
+		rep := report.New("test")
+		Record(rep, result)
+		Record(rep, &Table1Result{Rows: []Table1Row{{Name: "perl", DefaultMissRate: 0.09}}})
+		var buf bytes.Buffer
+		if err := report.Write(&buf, rep); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first := render()
+	for i := 0; i < 20; i++ {
+		if got := render(); !bytes.Equal(got, first) {
+			t.Fatalf("Record produced differing reports:\n%s\nvs\n%s", first, got)
+		}
+	}
+	// The recorded cells must actually land: three algorithms for each
+	// Figure 5 bench plus the Table 1 default rate.
+	rep := report.New("test")
+	Record(rep, result)
+	Record(rep, &Table1Result{Rows: []Table1Row{{Name: "perl", DefaultMissRate: 0.09}}})
+	var perl *report.Benchmark
+	for i := range rep.Benchmarks {
+		if rep.Benchmarks[i].Name == "perl" {
+			perl = &rep.Benchmarks[i]
+		}
+	}
+	if perl == nil || len(perl.MissRates) != 4 {
+		t.Fatalf("perl miss rates incomplete: %+v", rep.Benchmarks)
+	}
+}

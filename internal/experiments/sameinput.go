@@ -35,7 +35,7 @@ func SameInput(opts Options) (*SameInputResult, error) {
 	// Train and test on the same input.
 	same := *pair
 	same.Test = same.Train
-	b, err := prepare(&same, opts.Cache, opts.Telemetry.Shard())
+	b, err := prepare(&same, opts.Cache, opts.Telemetry.Shard(), opts.Check)
 	if err != nil {
 		return nil, err
 	}
@@ -45,7 +45,7 @@ func SameInput(opts Options) (*SameInputResult, error) {
 		MissRates: map[AlgorithmName]float64{},
 	}
 	for _, alg := range []AlgorithmName{AlgPH, AlgHKC, AlgGBSC} {
-		mr, err := runAlgorithm(alg, b, opts.Cache, nil, nil, opts.Telemetry.Shard())
+		mr, err := runAlgorithm(alg, b, opts.Cache, nil, nil, opts.Telemetry.Shard(), opts.Check)
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/invariant"
 	"repro/internal/trg"
 )
 
@@ -43,7 +44,7 @@ func SetAssoc(opts Options) (*SetAssocResult, error) {
 	rows := make([]SetAssocRow, len(pairs))
 	err = forEach(opts.parallelism(), len(pairs), func(i int) error {
 		pair := pairs[i]
-		b, err := prepare(pair, opts.Cache, opts.Telemetry.Shard())
+		b, err := prepare(pair, opts.Cache, opts.Telemetry.Shard(), opts.Check)
 		if err != nil {
 			return err
 		}
@@ -59,6 +60,9 @@ func SetAssoc(opts Options) (*SetAssocResult, error) {
 		}
 
 		defLayout := defaultLayoutOf(prog)
+		if err := checkPacked(opts.Check, pair.Bench.Name+"/setassoc-default", prog, defLayout); err != nil {
+			return err
+		}
 		defMR, err := cache.MissRate(assocCfg, defLayout, b.test)
 		if err != nil {
 			return err
@@ -68,6 +72,9 @@ func SetAssoc(opts Options) (*SetAssocResult, error) {
 		if err != nil {
 			return err
 		}
+		if err := checkAligned(opts.Check, pair.Bench.Name+"/setassoc-direct", prog, dmLayout, b.pop, opts.Cache); err != nil {
+			return err
+		}
 		dmMR, err := cache.MissRate(assocCfg, dmLayout, b.test)
 		if err != nil {
 			return err
@@ -75,6 +82,14 @@ func SetAssoc(opts Options) (*SetAssocResult, error) {
 
 		asLayout, err := core.PlaceAssoc(prog, trgPairs, db, b.pop, assocCfg)
 		if err != nil {
+			return err
+		}
+		// The Section 6 placement aligns popular procedures to set
+		// boundaries: the period is the set count, not the line count.
+		if err := checkLayout(opts.Check, pair.Bench.Name+"/setassoc-2way", prog, asLayout, invariant.LayoutOptions{
+			Cache: assocCfg, Popular: b.pop, Period: assocCfg.NumSets(),
+			RequireAlignedPopular: true,
+		}); err != nil {
 			return err
 		}
 		asMR, err := cache.MissRate(assocCfg, asLayout, b.test)

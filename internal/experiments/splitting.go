@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/invariant"
 	"repro/internal/popular"
 	"repro/internal/split"
 	"repro/internal/trg"
@@ -39,7 +40,7 @@ func Splitting(opts Options) (*SplittingResult, error) {
 	rows := make([]SplittingRow, len(pairs))
 	err = forEach(opts.parallelism(), len(pairs), func(i int) error {
 		pair := pairs[i]
-		b, err := prepare(pair, opts.Cache, opts.Telemetry.Shard())
+		b, err := prepare(pair, opts.Cache, opts.Telemetry.Shard(), opts.Check)
 		if err != nil {
 			return err
 		}
@@ -48,6 +49,9 @@ func Splitting(opts Options) (*SplittingResult, error) {
 
 		plain, err := core.Place(prog, b.trgRes, b.pop, opts.Cache)
 		if err != nil {
+			return err
+		}
+		if err := checkAligned(opts.Check, row.Name+"/splitting-plain", prog, plain, b.pop, opts.Cache); err != nil {
 			return err
 		}
 		if row.GBSC, err = cache.RunTraceClassified(opts.Cache, plain, b.test); err != nil {
@@ -81,6 +85,14 @@ func Splitting(opts Options) (*SplittingResult, error) {
 		}
 		slayout, err := core.Place(sp.Prog, sres, spop, opts.Cache)
 		if err != nil {
+			return err
+		}
+		// Checked against the transformed program: splitting must conserve
+		// the split program's bytes, not the original's.
+		if err := checkLayout(opts.Check, row.Name+"/splitting-split", sp.Prog, slayout, invariant.LayoutOptions{
+			Cache: opts.Cache, Popular: spop, Chunker: sres.Chunker,
+			RequireAlignedPopular: true,
+		}); err != nil {
 			return err
 		}
 		if row.SplitGBSC, err = cache.RunTraceClassified(opts.Cache, slayout, stest); err != nil {

@@ -48,18 +48,25 @@ func CacheSweep(opts Options) (*SweepResult, error) {
 	cells := make([]SweepCell, len(pairs)*len(geometries))
 	err = forEach(opts.parallelism(), len(cells), func(i int) error {
 		pair, cfg := pairs[i/len(geometries)], geometries[i%len(geometries)]
-		b, err := prepare(pair, cfg, opts.Telemetry.Shard())
+		b, err := prepare(pair, cfg, opts.Telemetry.Shard(), opts.Check)
 		if err != nil {
 			return err
 		}
 		prog := pair.Bench.Prog
 		cell := SweepCell{Name: pair.Bench.Name, Cache: cfg}
 
-		if cell.Default, err = cache.MissRate(cfg, program.DefaultLayout(prog), b.test); err != nil {
+		def := program.DefaultLayout(prog)
+		if err := checkPacked(opts.Check, cell.Name+"/sweep-default", prog, def); err != nil {
+			return err
+		}
+		if cell.Default, err = cache.MissRate(cfg, def, b.test); err != nil {
 			return err
 		}
 		phl, err := baseline.PHLayout(prog, b.wcgFull)
 		if err != nil {
+			return err
+		}
+		if err := checkPacked(opts.Check, cell.Name+"/sweep-ph", prog, phl); err != nil {
 			return err
 		}
 		if cell.PH, err = cache.MissRate(cfg, phl, b.test); err != nil {
@@ -79,6 +86,9 @@ func CacheSweep(opts Options) (*SweepResult, error) {
 		dm := cache.Config{SizeBytes: cfg.SizeBytes, LineBytes: cfg.LineBytes, Assoc: 1}
 		gl, err := core.Place(prog, res2, b.pop, dm)
 		if err != nil {
+			return err
+		}
+		if err := checkAligned(opts.Check, cell.Name+"/sweep-gbsc", prog, gl, b.pop, dm); err != nil {
 			return err
 		}
 		if cell.GBSC, err = cache.MissRate(cfg, gl, b.test); err != nil {

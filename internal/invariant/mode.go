@@ -1,0 +1,60 @@
+package invariant
+
+import "fmt"
+
+// Mode selects how detected violations are handled. The zero value is
+// ModeFatal: checks are a hard gate unless a caller explicitly relaxes them.
+type Mode int
+
+const (
+	// ModeFatal turns violations into an error.
+	ModeFatal Mode = iota
+	// ModeWarn logs violations and continues.
+	ModeWarn
+	// ModeOff skips enforcement entirely.
+	ModeOff
+)
+
+// ParseMode parses the -check flag values.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "fatal":
+		return ModeFatal, nil
+	case "warn":
+		return ModeWarn, nil
+	case "off":
+		return ModeOff, nil
+	}
+	return ModeFatal, fmt.Errorf("invariant: unknown check mode %q (want fatal, warn, or off)", s)
+}
+
+func (m Mode) String() string {
+	switch m {
+	case ModeFatal:
+		return "fatal"
+	case ModeWarn:
+		return "warn"
+	case ModeOff:
+		return "off"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Enforce applies the mode to a check result: under ModeFatal any violation
+// becomes an error (listing every violation), under ModeWarn each one is
+// logged through logf and nil is returned, and under ModeOff nothing
+// happens. logf may be nil.
+func Enforce(m Mode, context string, vs []Violation, logf func(format string, args ...any)) error {
+	if len(vs) == 0 || m == ModeOff {
+		return nil
+	}
+	if m == ModeWarn {
+		if logf != nil {
+			for _, v := range vs {
+				logf("invariant: %s: %s", context, v)
+			}
+		}
+		return nil
+	}
+	return Error(context, vs)
+}

@@ -1,0 +1,174 @@
+package invariant
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/anneal"
+	"repro/internal/baseline"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/optimal"
+	"repro/internal/popular"
+	"repro/internal/program"
+	"repro/internal/split"
+	"repro/internal/trace"
+	"repro/internal/trg"
+	"repro/internal/wcg"
+)
+
+func randomProgram(rng *rand.Rand, n int) *program.Program {
+	procs := make([]program.Procedure, n)
+	for i := range procs {
+		procs[i] = program.Procedure{
+			Name: fmt.Sprintf("p%02d", i),
+			Size: 32 + rng.Intn(480),
+		}
+	}
+	return program.MustNew(procs)
+}
+
+func randomTrace(rng *rand.Rand, prog *program.Program, events int) *trace.Trace {
+	tr := &trace.Trace{}
+	for i := 0; i < events; i++ {
+		tr.Append(trace.Event{Proc: program.ProcID(rng.Intn(prog.NumProcs()))})
+	}
+	return tr
+}
+
+func mustClean(t *testing.T, alg string, vs []Violation) {
+	t.Helper()
+	if len(vs) != 0 {
+		t.Errorf("%s: layout violates invariants: %v", alg, vs)
+	}
+}
+
+// TestAllAlgorithmsSatisfyInvariants round-trips seeded random programs
+// through every placement algorithm and asserts the invariant checker
+// accepts each output under the algorithm's layout class.
+func TestAllAlgorithmsSatisfyInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			prog := randomProgram(rng, 12)
+			tr := randomTrace(rng, prog, 4000)
+			cfg := cache.Config{SizeBytes: 1024, LineBytes: 32, Assoc: 1}
+			pop := popular.Select(prog, tr, popular.Options{})
+
+			// Link order and Pettis-Hansen produce packed permutations.
+			mustClean(t, "default", CheckLayout(prog, program.DefaultLayout(prog),
+				LayoutOptions{RequirePacked: true}))
+			phl, err := baseline.PHLayout(prog, wcg.Build(tr))
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustClean(t, "ph", CheckLayout(prog, phl, LayoutOptions{RequirePacked: true}))
+
+			// HKC only aligns the compound procedures it colors, so it gets
+			// the universal checks.
+			hkcl, err := baseline.HKC(prog, wcg.BuildFiltered(tr, pop.Contains), pop, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustClean(t, "hkc", CheckLayout(prog, hkcl, LayoutOptions{Cache: cfg, Popular: pop}))
+
+			// The GBSC family goes through place.Emit: every popular
+			// procedure line-aligned on its assigned cache line.
+			res, bs, err := trg.BuildWithStats(prog, tr, trg.Options{
+				CacheBytes: cfg.SizeBytes, Popular: pop,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustClean(t, "trg", CheckTRG(prog, res, bs, pop))
+
+			items, err := core.Assign(prog, res, pop, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gl, err := core.Linearize(prog, items, pop, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustClean(t, "gbsc", CheckLayout(prog, gl, LayoutOptions{
+				Cache: cfg, Popular: pop, Placed: items,
+				Chunker: res.Chunker, RequireAlignedPopular: true,
+			}))
+
+			pgl, err := core.PlacePageAware(prog, res, pop, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustClean(t, "pagelocal", CheckLayout(prog, pgl, LayoutOptions{
+				Cache: cfg, Popular: pop, RequireAlignedPopular: true,
+			}))
+
+			al, err := anneal.Place(prog, res, pop, cfg, anneal.Options{Steps: 400, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustClean(t, "anneal", CheckLayout(prog, al, LayoutOptions{
+				Cache: cfg, Popular: pop, RequireAlignedPopular: true,
+			}))
+
+			// Set-associative variant (Section 6): period is the set count.
+			cfg2 := cache.Config{SizeBytes: 1024, LineBytes: 32, Assoc: 2}
+			res2, db, err := trg.BuildPairs(prog, tr, trg.Options{
+				CacheBytes: cfg2.SizeBytes, Popular: pop,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			l2, err := core.PlaceAssoc(prog, res2, db, pop, cfg2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustClean(t, "gbsc2", CheckLayout(prog, l2, LayoutOptions{
+				Cache: cfg2, Popular: pop, Period: cfg2.NumSets(),
+				RequireAlignedPopular: true,
+			}))
+
+			// Splitting transforms the program first; the checks run against
+			// the split program and its own popular set.
+			sp, err := split.Split(prog, tr, split.Options{Align: cfg.LineBytes})
+			if err != nil {
+				t.Fatal(err)
+			}
+			strain, err := sp.TransformTrace(prog, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spop := popular.Select(sp.Prog, strain, popular.Options{})
+			sres, err := trg.Build(sp.Prog, strain, trg.Options{
+				CacheBytes: cfg.SizeBytes, Popular: spop,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sl, err := core.Place(sp.Prog, sres, spop, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustClean(t, "splitting", CheckLayout(sp.Prog, sl, LayoutOptions{
+				Cache: cfg, Popular: spop, Chunker: sres.Chunker,
+				RequireAlignedPopular: true,
+			}))
+		})
+	}
+
+	// Exhaustive search is bounded to tiny programs; its layouts come from
+	// place.Linearize with every procedure popular.
+	rng := rand.New(rand.NewSource(42))
+	tiny := cache.Config{SizeBytes: 96, LineBytes: 32, Assoc: 1}
+	prog := randomProgram(rng, 4)
+	tr := randomTrace(rng, prog, 400)
+	opt, err := optimal.Search(prog, tr, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustClean(t, "optimal", CheckLayout(prog, opt.Layout, LayoutOptions{
+		Cache: tiny, RequireAlignedPopular: true,
+	}))
+}

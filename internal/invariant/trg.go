@@ -1,0 +1,146 @@
+package invariant
+
+import (
+	"math"
+	"strconv"
+
+	"repro/internal/graph"
+	"repro/internal/popular"
+	"repro/internal/program"
+	"repro/internal/trg"
+)
+
+// Graph is the read-only view CheckGraph needs. *graph.Graph satisfies it;
+// tests inject fakes to exercise violations the real constructor forbids
+// (asymmetric adjacency, non-positive weights).
+type Graph interface {
+	Nodes() []graph.NodeID
+	Neighbors(n graph.NodeID, fn func(v graph.NodeID, w int64))
+	Weight(u, v graph.NodeID) int64
+	TotalWeight() int64
+}
+
+// NodeCheck labels a node for diagnostics and returns a non-empty problem
+// string if the node does not belong in the graph's index space.
+type NodeCheck func(n graph.NodeID) (label, problem string)
+
+// CheckGraph verifies the structural TRG invariants on g: every node passes
+// the membership check, every edge weight is positive, and the adjacency is
+// symmetric (Weight(u,v) == Weight(v,u) — TRGs are undirected, Section 3).
+func CheckGraph(g Graph, name string, node NodeCheck) []Violation {
+	c := &collector{max: defaultMaxViolations}
+	checkGraph(c, g, name, node)
+	return c.vs
+}
+
+func checkGraph(c *collector, g Graph, name string, node NodeCheck) {
+	type pair struct{ u, v graph.NodeID }
+	seen := make(map[pair]bool)
+	for _, u := range g.Nodes() {
+		label, problem := node(u)
+		if problem != "" {
+			c.add(RuleTRGNode, "%s: node %s: %s", name, label, problem)
+		}
+		g.Neighbors(u, func(v graph.NodeID, w int64) {
+			key := pair{u, v}
+			if v < u {
+				key = pair{v, u}
+			}
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			vl, _ := node(v)
+			if w <= 0 {
+				c.add(RuleTRGWeight, "%s: edge (%s, %s) has non-positive weight %d", name, label, vl, w)
+			}
+			if back := g.Weight(v, u); back != w {
+				c.add(RuleTRGSymmetry, "%s: weight(%s, %s) = %d but weight(%s, %s) = %d",
+					name, label, vl, w, vl, label, back)
+			}
+		})
+	}
+}
+
+// CheckTRG verifies a trg.BuildWithStats result: TRG_select nodes are
+// popular procedures, TRG_place nodes are chunks of popular procedures,
+// both graphs are symmetric with positive weights, the chunk numbering
+// matches the program, and the build statistics are mutually consistent
+// (weight conservation against the observed event counts).
+func CheckTRG(prog *program.Program, res *trg.Result, stats trg.BuildStats, pop *popular.Set) []Violation {
+	c := &collector{max: defaultMaxViolations}
+	if res == nil {
+		c.add(RuleTRGStats, "TRG result is nil")
+		return c.vs
+	}
+
+	isPopular := func(program.ProcID) bool { return true }
+	if pop != nil {
+		isPopular = pop.Contains
+	}
+
+	if res.Select != nil {
+		checkGraph(c, res.Select, "TRG_select", func(n graph.NodeID) (string, string) {
+			p := program.ProcID(n)
+			if p < 0 || int(p) >= prog.NumProcs() {
+				return "?", "procedure id out of range"
+			}
+			if !isPopular(p) {
+				return prog.Name(p), "procedure is not popular"
+			}
+			return prog.Name(p), ""
+		})
+	}
+	if res.Place != nil && res.Chunker != nil {
+		nc := res.Chunker.NumChunks()
+		checkGraph(c, res.Place, "TRG_place", func(n graph.NodeID) (string, string) {
+			if n < 0 || int(n) >= nc {
+				return "?", "chunk id out of range"
+			}
+			owner, idx := res.Chunker.Owner(program.ChunkID(n))
+			label := prog.Name(owner)
+			if idx > 0 {
+				label += "+" + strconv.Itoa(idx)
+			}
+			if !isPopular(owner) {
+				return label, "chunk of unpopular procedure"
+			}
+			return label, ""
+		})
+	}
+	if res.Chunker != nil {
+		checkChunker(c, prog, res.Chunker)
+	}
+
+	// Build statistics. Each Observe on a kept event advances the queue once
+	// and records its population, so the identities below hold exactly.
+	if stats.QSteps != stats.Events {
+		c.add(RuleTRGStats, "QSteps %d != Events %d", stats.QSteps, stats.Events)
+	}
+	if stats.QLenSum > stats.Events*int64(stats.MaxQLen) {
+		c.add(RuleTRGStats, "QLenSum %d exceeds Events %d x MaxQLen %d",
+			stats.QLenSum, stats.Events, stats.MaxQLen)
+	}
+	var hist int64
+	for _, n := range stats.QLenHist {
+		hist += n
+	}
+	if hist != stats.QSteps {
+		c.add(RuleTRGStats, "queue histogram totals %d, want QSteps %d", hist, stats.QSteps)
+	}
+	if res.Select != nil {
+		// Weight conservation: one activation increments at most one edge
+		// per procedure then present in Q, so the total TRG_select weight
+		// cannot exceed the summed queue populations.
+		if tw := res.Select.TotalWeight(); tw > stats.QLenSum {
+			c.add(RuleTRGStats, "TRG_select total weight %d exceeds summed queue population %d", tw, stats.QLenSum)
+		}
+	}
+	if stats.QSteps > 0 {
+		want := float64(stats.QLenSum) / float64(stats.QSteps)
+		if math.Abs(res.AvgQProcs-want) > 1e-9*math.Max(1, want) {
+			c.add(RuleTRGStats, "AvgQProcs %g != QLenSum/QSteps %g", res.AvgQProcs, want)
+		}
+	}
+	return c.vs
+}

@@ -1,0 +1,145 @@
+package invariant
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/popular"
+	"repro/internal/program"
+	"repro/internal/trace"
+	"repro/internal/trg"
+)
+
+// fakeGraph lets tests construct graphs the real graph.Graph constructor
+// forbids: directed weight maps make asymmetry expressible.
+type fakeGraph struct {
+	nodes []graph.NodeID
+	w     map[[2]graph.NodeID]int64
+}
+
+func (f *fakeGraph) Nodes() []graph.NodeID { return f.nodes }
+
+func (f *fakeGraph) Neighbors(n graph.NodeID, fn func(v graph.NodeID, w int64)) {
+	for _, v := range f.nodes {
+		if w, ok := f.w[[2]graph.NodeID{n, v}]; ok {
+			fn(v, w)
+		}
+	}
+}
+
+func (f *fakeGraph) Weight(u, v graph.NodeID) int64 { return f.w[[2]graph.NodeID{u, v}] }
+
+func (f *fakeGraph) TotalWeight() int64 {
+	var t int64
+	for k, w := range f.w {
+		if k[0] < k[1] {
+			t += w
+		}
+	}
+	return t
+}
+
+func okNode(n graph.NodeID) (string, string) { return "n", "" }
+
+func TestCheckGraphAsymmetry(t *testing.T) {
+	g := &fakeGraph{
+		nodes: []graph.NodeID{1, 2},
+		w:     map[[2]graph.NodeID]int64{{1, 2}: 5, {2, 1}: 3},
+	}
+	vs := CheckGraph(g, "TRG_select", okNode)
+	if !hasRule(vs, RuleTRGSymmetry) {
+		t.Fatalf("violations %v, want %q", rules(vs), RuleTRGSymmetry)
+	}
+}
+
+func TestCheckGraphNonPositiveWeight(t *testing.T) {
+	g := &fakeGraph{
+		nodes: []graph.NodeID{1, 2},
+		w:     map[[2]graph.NodeID]int64{{1, 2}: -4, {2, 1}: -4},
+	}
+	vs := CheckGraph(g, "TRG_select", okNode)
+	if !hasRule(vs, RuleTRGWeight) {
+		t.Fatalf("violations %v, want %q", rules(vs), RuleTRGWeight)
+	}
+	if hasRule(vs, RuleTRGSymmetry) {
+		t.Errorf("symmetric negative edge also reported asymmetric: %v", vs)
+	}
+}
+
+func TestCheckGraphBadNode(t *testing.T) {
+	g := &fakeGraph{nodes: []graph.NodeID{7}}
+	vs := CheckGraph(g, "TRG_place", func(n graph.NodeID) (string, string) {
+		return "chunk7", "chunk id out of range"
+	})
+	if !hasRule(vs, RuleTRGNode) {
+		t.Fatalf("violations %v, want %q", rules(vs), RuleTRGNode)
+	}
+}
+
+func trgFixture(t *testing.T) (*program.Program, *trg.Result, trg.BuildStats) {
+	t.Helper()
+	prog := program.MustNew([]program.Procedure{
+		{Name: "a", Size: 300},
+		{Name: "b", Size: 500},
+		{Name: "c", Size: 120},
+		{Name: "d", Size: 700},
+	})
+	rng := rand.New(rand.NewSource(7))
+	tr := &trace.Trace{}
+	for i := 0; i < 2000; i++ {
+		tr.Append(trace.Event{Proc: program.ProcID(rng.Intn(prog.NumProcs()))})
+	}
+	res, bs, err := trg.BuildWithStats(prog, tr, trg.Options{CacheBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, res, bs
+}
+
+func TestCheckTRGAcceptsRealBuild(t *testing.T) {
+	prog, res, bs := trgFixture(t)
+	if vs := CheckTRG(prog, res, bs, nil); len(vs) != 0 {
+		t.Fatalf("real build: unexpected violations %v", vs)
+	}
+}
+
+func TestCheckTRGTamperedStats(t *testing.T) {
+	prog, res, bs := trgFixture(t)
+
+	ev := bs
+	ev.Events++ // now QSteps != Events and the histogram total is off
+	if vs := CheckTRG(prog, res, ev, nil); !hasRule(vs, RuleTRGStats) {
+		t.Errorf("tampered Events: violations %v, want %q", rules(vs), RuleTRGStats)
+	}
+
+	ql := bs
+	ql.QLenSum = 0 // breaks weight conservation: TotalWeight > QLenSum
+	if vs := CheckTRG(prog, res, ql, nil); !hasRule(vs, RuleTRGStats) {
+		t.Errorf("tampered QLenSum: violations %v, want %q", rules(vs), RuleTRGStats)
+	}
+
+	avg := *res
+	avg.AvgQProcs += 1.5
+	if vs := CheckTRG(prog, &avg, bs, nil); !hasRule(vs, RuleTRGStats) {
+		t.Errorf("tampered AvgQProcs: want %q violation", RuleTRGStats)
+	}
+}
+
+func TestCheckTRGUnpopularNode(t *testing.T) {
+	prog, res, bs := trgFixture(t)
+	// The build included every procedure; claiming only procedure 0 is
+	// popular must flag every other graph node.
+	onlyTr := &trace.Trace{}
+	for i := 0; i < 10; i++ {
+		onlyTr.Append(trace.Event{Proc: 0})
+	}
+	only := popular.Select(prog, onlyTr, popular.Options{})
+	if only.Len() != 1 || !only.Contains(0) {
+		t.Fatalf("test setup: popular set %v, want just procedure 0", only.IDs)
+	}
+	vs := CheckTRG(prog, res, bs, only)
+	if !hasRule(vs, RuleTRGNode) {
+		t.Fatalf("violations %v, want %q", rules(vs), RuleTRGNode)
+	}
+}

@@ -271,14 +271,19 @@ func diffHistograms(old, new map[string]telemetry.HistogramStats, o DiffOptions)
 				Detail: presence(inO, inN)})
 			continue
 		}
-		switch {
-		case !withinRel(float64(oh.Count), float64(nh.Count), o.CounterTol):
+		// Each aspect is checked independently: a histogram whose count,
+		// sum, and buckets all drifted yields three findings, so the gate
+		// output names every discrepancy in one pass instead of revealing
+		// them one fix at a time.
+		if !withinRel(float64(oh.Count), float64(nh.Count), o.CounterTol) {
 			fs = append(fs, Finding{Drift: true, Kind: "histogram", Key: name,
 				Detail: fmt.Sprintf("count %d -> %d", oh.Count, nh.Count)})
-		case !withinRel(float64(oh.Sum), float64(nh.Sum), o.CounterTol):
+		}
+		if !withinRel(float64(oh.Sum), float64(nh.Sum), o.CounterTol) {
 			fs = append(fs, Finding{Drift: true, Kind: "histogram", Key: name,
 				Detail: fmt.Sprintf("sum %d -> %d", oh.Sum, nh.Sum)})
-		case o.CounterTol == 0 && !equalBuckets(oh.Buckets, nh.Buckets):
+		}
+		if o.CounterTol == 0 && !equalBuckets(oh.Buckets, nh.Buckets) {
 			fs = append(fs, Finding{Drift: true, Kind: "histogram", Key: name,
 				Detail: "bucket counts differ"})
 		}

@@ -121,6 +121,50 @@ func TestDiffHistogramDrift(t *testing.T) {
 	}
 }
 
+func TestDiffHistogramReportsEveryAspect(t *testing.T) {
+	a, b := sampleReport(), sampleReport()
+	h := b.Histograms["trg/q_procs"]
+	h.Count += 2
+	h.Sum += 3
+	h.Buckets = append([]int64{}, h.Buckets...)
+	h.Buckets[0] += 5
+	b.Histograms["trg/q_procs"] = h
+	fs := Diff(a, b, DiffOptions{})
+	var details []string
+	for _, f := range fs {
+		if f.Drift && f.Kind == "histogram" && f.Key == "trg/q_procs" {
+			details = append(details, f.Detail)
+		}
+	}
+	if len(details) != 3 {
+		t.Fatalf("want count+sum+bucket findings, got %v", details)
+	}
+	for i, want := range []string{"count", "sum", "bucket"} {
+		if !strings.Contains(details[i], want) {
+			t.Errorf("finding %d = %q, want mention of %q", i, details[i], want)
+		}
+	}
+}
+
+func TestDiffReportsAllDriftingKeys(t *testing.T) {
+	a, b := sampleReport(), sampleReport()
+	b.AddMissRate("perl", "GBSC", 0.5)
+	b.AddMissRate("m88ksim", "GBSC", 0.5)
+	b.Counters["cache/misses"] = 999
+	fs := Diff(a, b, DiffOptions{})
+	keys := map[string]bool{}
+	for _, f := range fs {
+		if f.Drift {
+			keys[f.Kind+"/"+f.Key] = true
+		}
+	}
+	for _, want := range []string{"missrate/perl/GBSC", "missrate/m88ksim/GBSC", "counter/cache/misses"} {
+		if !keys[want] {
+			t.Errorf("drift for %s not reported; got %v", want, keys)
+		}
+	}
+}
+
 func TestDiffTimingGate(t *testing.T) {
 	a, b := sampleReport(), sampleReport()
 	b.Timers["prepare/wall"] = telemetry.TimerStats{Count: 1, TotalNS: 10e9, MaxNS: 10e9}

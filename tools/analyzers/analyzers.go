@@ -1,0 +1,204 @@
+// Package analyzers implements the repository's custom lint suite on top of
+// the standard library's go/ast and go/types only — the environment this
+// project builds in has no module cache, so golang.org/x/tools/go/analysis
+// is deliberately not used. The framework mirrors its shape (an Analyzer
+// with a Run function over a typed Pass) at the scale this repo needs.
+//
+// Two analyzers ship with the repo:
+//
+//   - nodeterm forbids nondeterminism sources (wall clock, the global
+//     math/rand source, map-iteration-ordered output) inside the pipeline
+//     packages whose outputs must be bit-identical across runs and worker
+//     counts.
+//   - runerr enforces the cmd/* error-handling convention: main delegates
+//     to run() error, and no error-returning Close call is discarded.
+//
+// A finding can be suppressed where it is a considered decision, not an
+// accident, with a trailing or preceding-line comment:
+//
+//	for k := range m { // repolint:allow nodeterm/maporder: folded commutatively
+//
+// The allow comment must name each suppressed rule.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one lint finding.
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string // e.g. "nodeterm/time"
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Rule, d.Msg)
+}
+
+// Pass bundles one type-checked package for the analyzers.
+type Pass struct {
+	Fset  *token.FileSet
+	Path  string // import path, e.g. "repro/internal/trg"
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	diags []Diagnostic
+	allow map[allowKey]bool
+}
+
+type allowKey struct {
+	file string
+	line int
+	rule string
+}
+
+// Reportf records a finding unless an allow comment on the same or the
+// preceding line names its rule.
+func (p *Pass) Reportf(pos token.Pos, rule, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allowed(position, rule) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:  position,
+		Rule: rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) allowed(pos token.Position, rule string) bool {
+	if p.allow == nil {
+		p.allow = collectAllows(p.Fset, p.Files)
+	}
+	return p.allow[allowKey{pos.Filename, pos.Line, rule}]
+}
+
+// collectAllows indexes every "repolint:allow rule1,rule2" comment by file
+// and line. A trailing comment suppresses matching findings on its own
+// line; a standalone comment (no code on its line) additionally covers the
+// line directly below it.
+func collectAllows(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
+	allow := map[allowKey]bool{}
+	for _, f := range files {
+		code := codeLines(fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "repolint:allow") {
+					continue
+				}
+				text = strings.TrimSpace(strings.TrimPrefix(text, "repolint:allow"))
+				// An optional ": rationale" suffix is ignored.
+				if i := strings.Index(text, ":"); i >= 0 {
+					text = text[:i]
+				}
+				pos := fset.Position(c.Pos())
+				for _, rule := range strings.FieldsFunc(text, func(r rune) bool {
+					return r == ',' || r == ' ' || r == '\t'
+				}) {
+					allow[allowKey{pos.Filename, pos.Line, rule}] = true
+					if !code[pos.Line] {
+						allow[allowKey{pos.Filename, pos.Line + 1, rule}] = true
+					}
+				}
+			}
+		}
+	}
+	return allow
+}
+
+// codeLines returns the set of lines in f that contain code (any non-comment
+// token), so standalone allow comments can be told apart from trailing ones.
+func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		lines[fset.Position(n.End()).Line] = true
+		return true
+	})
+	return lines
+}
+
+// Analyzer is one lint check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Applies filters by import path; the driver only builds a Pass for
+	// packages at least one analyzer claims.
+	Applies func(path string) bool
+	Run     func(p *Pass)
+}
+
+// All is the suite cmd/repolint runs.
+var All = []*Analyzer{NoDeterm, RunErr}
+
+// Applies reports whether any analyzer in as claims the package path.
+func Applies(as []*Analyzer, path string) bool {
+	for _, a := range as {
+		if a.Applies(path) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes every applicable analyzer over the pass and returns the
+// findings sorted by position.
+func Run(p *Pass, as []*Analyzer) []Diagnostic {
+	for _, a := range as {
+		if a.Applies(p.Path) {
+			a.Run(p)
+		}
+	}
+	sort.Slice(p.diags, func(i, j int) bool {
+		a, b := p.diags[i], p.diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return p.diags
+}
+
+// pkgOf resolves an identifier to the package it names, if it is a package
+// qualifier (e.g. the "rand" in rand.Intn).
+func pkgOf(info *types.Info, id *ast.Ident) *types.Package {
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported()
+	}
+	return nil
+}
+
+// selectorPkgFunc decomposes expr as pkg.Name and returns the imported
+// package path and selected name, or "" if expr is not a package-qualified
+// selector.
+func selectorPkgFunc(info *types.Info, expr ast.Expr) (pkgPath, name string) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pkg := pkgOf(info, id)
+	if pkg == nil {
+		return "", ""
+	}
+	return pkg.Path(), sel.Sel.Name
+}

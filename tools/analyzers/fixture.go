@@ -1,0 +1,47 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LintSource type-checks a synthetic package from in-memory sources under
+// the given import path and runs the full analyzer suite over it. The
+// fixtures may import standard-library packages only (resolved from source,
+// so no compiled package cache is needed). Both the unit tests and
+// cmd/repolint -selftest drive the analyzers through this entry point, so
+// the self-test exercises exactly the code path CI depends on.
+func LintSource(path string, files map[string]string) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var parsed []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, files[name], parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("fixture %s: %w", name, err)
+		}
+		parsed = append(parsed, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(path, fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("fixture %s: type checking: %w", path, err)
+	}
+	pass := &Pass{Fset: fset, Path: path, Files: parsed, Pkg: pkg, Info: info}
+	return Run(pass, All), nil
+}

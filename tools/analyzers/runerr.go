@@ -1,0 +1,146 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RunErr enforces the cmd/* error-handling convention:
+//
+//   - func main must delegate all work to run() error — its body may only
+//     configure the logger, call run, branch on the result, and exit. This
+//     keeps every exit path returning a real status code and keeps the
+//     logic testable.
+//   - no statement may discard an error-returning Close(): a swallowed
+//     Close hides short writes on full disks and closed pipes. Either
+//     propagate it (cerr := f.Close()) or defer it on a read-only handle
+//     with an allow comment.
+var RunErr = &Analyzer{
+	Name: "runerr",
+	Doc:  "cmd mains must route through run() error and not swallow Close errors",
+	Applies: func(path string) bool {
+		return strings.HasPrefix(path, "repro/cmd/")
+	},
+	Run: runRunErr,
+}
+
+// mainAllowedCalls are the package-qualified calls a cmd main's body may
+// make besides run() itself.
+var mainAllowedCalls = map[string]bool{
+	"log.SetFlags":  true,
+	"log.SetPrefix": true,
+	"log.Fatal":     true,
+	"log.Fatalf":    true,
+	"log.Print":     true,
+	"log.Printf":    true,
+	"os.Exit":       true,
+	"errors.Is":     true,
+	"errors.As":     true,
+}
+
+func runRunErr(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name == "main" && fd.Recv == nil && p.Pkg.Name() == "main" {
+				checkMain(p, fd)
+			}
+			checkSwallowedCloses(p, fd)
+		}
+	}
+}
+
+func checkMain(p *Pass, fd *ast.FuncDecl) {
+	callsRun := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "run" {
+				callsRun = true
+				return true
+			}
+			p.Reportf(call.Pos(), "runerr/main",
+				"main calls %s directly; move the work into run() error", fun.Name)
+		case *ast.SelectorExpr:
+			pkgPath, name := selectorPkgFunc(p.Info, fun)
+			if pkgPath == "" {
+				// Method call on a local value — main should not be
+				// holding values worth calling methods on.
+				p.Reportf(call.Pos(), "runerr/main",
+					"main calls %s; move the work into run() error", exprString(fun))
+				return true
+			}
+			short := pkgPath[strings.LastIndex(pkgPath, "/")+1:] + "." + name
+			if !mainAllowedCalls[short] {
+				p.Reportf(call.Pos(), "runerr/main",
+					"main calls %s; move the work into run() error", short)
+			}
+		}
+		return true
+	})
+	if !callsRun {
+		p.Reportf(fd.Pos(), "runerr/main", "main never calls run(); cmd mains must delegate to run() error")
+	}
+}
+
+// checkSwallowedCloses flags bare `x.Close()` expression statements whose
+// Close returns an error. Deferred closes are distinct statements
+// (DeferStmt) and are left alone: for read-only handles they are the
+// conventional cleanup.
+func checkSwallowedCloses(p *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Close" || len(call.Args) != 0 {
+			return true
+		}
+		if !returnsError(p.Info, call) {
+			return true
+		}
+		p.Reportf(stmt.Pos(), "runerr/close",
+			"%s discards the Close error; capture it (if cerr := ...Close(); err == nil { err = cerr })",
+			exprString(sel))
+		return true
+	})
+}
+
+// returnsError reports whether the call's sole result is an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	return types.Identical(sig.Results().At(0).Type(), types.Universe.Lookup("error").Type())
+}
+
+// exprString renders a selector chain for messages (x.y.Close).
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	}
+	return "expression"
+}
