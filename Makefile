@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt fmt-check vet lint build test race bench experiments golden-smoke
+.PHONY: ci fmt fmt-check vet lint build test race bench bench-json experiments golden-smoke
 
 ci: fmt-check vet lint build race bench
 
@@ -40,6 +40,18 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Machine-readable record of the GBSC merge-loop hot paths (ns/op, B/op,
+# allocs/op): the Section 4.4 loop benchmarks plus the selector/scorer
+# micro-benchmarks, converted to JSON by cmd/benchjson and committed as
+# BENCH_gbsc.json so the perf trajectory is tracked per change. Override
+# BENCHTIME (e.g. BENCHTIME=1x in CI) to trade precision for speed.
+BENCHTIME ?= 1s
+GBSC_BENCHES = ^(BenchmarkHeaviestEdge|BenchmarkBestAlignment|BenchmarkBestAlignmentAssoc|BenchmarkMergeNodes|BenchmarkGBSCPlacement)$$
+
+bench-json:
+	$(GO) test -run '^$$' -bench '$(GBSC_BENCHES)' -benchmem \
+		-benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_gbsc.json
 
 # Regenerate the full paper evaluation (EXPERIMENTS.md numbers).
 experiments:

@@ -18,6 +18,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/graph"
 	"repro/internal/popular"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
@@ -147,6 +148,78 @@ func BenchmarkMergeNodes(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkHeaviestEdge times the indexed heaviest-edge selector by
+// draining a dense random working graph with the exact select+merge access
+// pattern of the PH and GBSC loops (one drain per iteration; the clone is
+// excluded from the timing).
+func BenchmarkHeaviestEdge(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	base := graph.New()
+	const nodes = 256
+	for i := 0; i < 4096; i++ {
+		u, v := graph.NodeID(rng.Intn(nodes)), graph.NodeID(rng.Intn(nodes))
+		if u != v {
+			base.AddEdgeWeight(u, v, int64(rng.Intn(1000)+1))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := base.Clone()
+		b.StartTimer()
+		for {
+			e, ok := g.HeaviestEdge()
+			if !ok {
+				break
+			}
+			g.MergeNodes(e.U, e.V)
+		}
+	}
+}
+
+// BenchmarkBestAlignment times one direct-mapped Figure 4 alignment search
+// of the edge-driven scorer at the midpoint of a perl merge run (both
+// nodes carry many procedures).
+func BenchmarkBestAlignment(b *testing.B) {
+	art := prepareArtifacts(b, "perl", 0.3)
+	search, err := core.NewAlignmentBench(art.pair.Bench.Prog, art.res, art.pop, cache.PaperConfig)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += search()
+	}
+	_ = sink
+}
+
+// BenchmarkBestAlignmentAssoc times one Section 6 set-associative
+// alignment search over the pair database with the buffered scorer.
+func BenchmarkBestAlignmentAssoc(b *testing.B) {
+	pair := tracegen.Lookup(tracegen.Suite(0.1), "perl")
+	tr := pair.Bench.Trace(pair.Train)
+	pop := popular.Select(pair.Bench.Prog, tr, popular.Options{})
+	cfg := cache.Config{SizeBytes: cache.PaperConfig.SizeBytes, LineBytes: cache.PaperConfig.LineBytes, Assoc: 2}
+	res, db, err := trg.BuildPairs(pair.Bench.Prog, tr, trg.Options{
+		CacheBytes: cfg.SizeBytes,
+		Popular:    pop,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	search, err := core.NewAlignmentAssocBench(pair.Bench.Prog, res, db, pop, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += search()
+	}
+	_ = sink
 }
 
 // BenchmarkTRGBuild times TRG_select/TRG_place construction per trace event.

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkHeaviestEdge     	       3	   3630278 ns/op	  466032 B/op	      81 allocs/op
+BenchmarkBestAlignment    	    6000	    196793 ns/op	       0 B/op	       0 allocs/op
+BenchmarkThroughput       	     100	      1234 ns/op	 512.50 MB/s
+PASS
+ok  	repro	2.345s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "repro" {
+		t.Errorf("header = %q/%q/%q", rep.Goos, rep.Goarch, rep.Pkg)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	he := rep.Benchmarks[0]
+	if he.Name != "BenchmarkHeaviestEdge" || he.Iterations != 3 ||
+		he.NsPerOp != 3630278 || he.BytesPerOp != 466032 || he.AllocsPerOp != 81 {
+		t.Errorf("HeaviestEdge parsed as %+v", he)
+	}
+	ba := rep.Benchmarks[1]
+	if ba.BytesPerOp != 0 || ba.AllocsPerOp != 0 || ba.NsPerOp != 196793 {
+		t.Errorf("BestAlignment parsed as %+v", ba)
+	}
+	if tp := rep.Benchmarks[2]; tp.MBPerSec != 512.50 {
+		t.Errorf("MB/s parsed as %+v", tp)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok\n")); err == nil {
+		t.Fatal("want error on input with no benchmark lines")
+	}
+}
+
+func TestParseRejectsGarbageValue(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkX 5 abc ns/op\n")); err == nil {
+		t.Fatal("want error on unparsable value")
+	}
+}

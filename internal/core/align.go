@@ -1,0 +1,265 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/program"
+	"repro/internal/trg"
+)
+
+// This file holds the fast alignment engines behind the GBSC merge loop.
+// The naive scorers in merge.go rebuild both nodes' line occupancy from the
+// chunker and walk all C² line pairs with map lookups on every merge,
+// costing O(C²·occ²) per alignment search; they are retained as reference
+// oracles. The engines here keep each working node's chunk→line assignment
+// incrementally up to date across shift/absorb and score alignments by
+// iterating only the TRG_place cross-edges between the two nodes into a
+// reusable cost buffer (cost[(l1-l2) mod C] += w), so a direct-mapped
+// search costs O(cross-degree + C) slice walks instead. Differential tests
+// (differential_test.go) prove the engines byte-identical to the oracles.
+
+// alignEngine is the per-run alignment scorer driven by assign: addNode
+// seeds the incremental occupancy state for one popular procedure, best
+// Offset runs the Figure 4 search for merging node v into node u, and
+// merged applies the chosen shift to the engine's state after the working
+// graph merge.
+type alignEngine interface {
+	addNode(id graph.NodeID, p program.ProcID)
+	bestOffset(u, v graph.NodeID) int
+	merged(u, v graph.NodeID, off int)
+	crossEdgesScanned() int64
+}
+
+// occState is the incremental chunk→line occupancy shared by both engines.
+// Working-node IDs are popular ProcIDs, so per-node state lives in dense
+// slices indexed by NodeID; each chunk belongs to exactly one procedure and
+// therefore to at most one working node at a time.
+type occState struct {
+	period    int
+	lineBytes int
+	prog      *program.Program
+	chunker   *program.Chunker
+	// owner maps each chunk to the working node currently holding it, or
+	// -1. chunkLines holds the cache lines (node-relative, canonicalized to
+	// [0, period)) each chunk occupies — a multiset mirroring the oracle's
+	// occupancy() entries, one line per cache line of the owning procedure.
+	owner      []graph.NodeID
+	chunkLines [][]int32
+	// nodeChunks lists each working node's distinct chunks in absorption
+	// order.
+	nodeChunks [][]program.ChunkID
+}
+
+func newOccState(prog *program.Program, chunker *program.Chunker, lineBytes, period int) occState {
+	nc := chunker.NumChunks()
+	owner := make([]graph.NodeID, nc)
+	for i := range owner {
+		owner[i] = -1
+	}
+	return occState{
+		period:     period,
+		lineBytes:  lineBytes,
+		prog:       prog,
+		chunker:    chunker,
+		owner:      owner,
+		chunkLines: make([][]int32, nc),
+		nodeChunks: make([][]program.ChunkID, prog.NumProcs()),
+	}
+}
+
+// addNode seeds the state for a fresh single-procedure node at offset 0:
+// line i of procedure p (mod period, for procedures larger than the cache)
+// holds the chunk covering byte i*lineBytes, exactly as occupancy() derives.
+func (s *occState) addNode(id graph.NodeID, p program.ProcID) {
+	lines := s.prog.SizeLines(p, s.lineBytes)
+	var chunks []program.ChunkID
+	last := program.ChunkID(-1)
+	for i := 0; i < lines; i++ {
+		c := s.chunker.ChunkAtOffset(p, i*s.lineBytes)
+		if c != last {
+			chunks = append(chunks, c)
+			s.owner[c] = id
+			last = c
+		}
+		s.chunkLines[c] = append(s.chunkLines[c], int32(mod(i, s.period)))
+	}
+	s.nodeChunks[id] = chunks
+}
+
+// merged records that node v was shifted by off lines and absorbed into u.
+func (s *occState) merged(u, v graph.NodeID, off int) {
+	cv := s.nodeChunks[v]
+	for _, c := range cv {
+		s.owner[c] = u
+		ls := s.chunkLines[c]
+		for j := range ls {
+			ls[j] = int32(mod(int(ls[j])+off, s.period))
+		}
+	}
+	s.nodeChunks[u] = append(s.nodeChunks[u], cv...)
+	s.nodeChunks[v] = nil
+}
+
+// directEngine scores direct-mapped alignments (the Figure 4 conflict
+// metric) edge-first: every TRG_place cross-edge (c1 ∈ u, c2 ∈ v, w)
+// contributes w to cost[(l1-l2) mod C] for each line pair the two chunks
+// occupy. Iterating the smaller node's adjacency bounds each search by the
+// lighter side's cross-degree.
+type directEngine struct {
+	occState
+	// CSR adjacency snapshot of TRG_place over chunks; the place graph is
+	// never mutated during a merge loop, so slice walks replace map probes.
+	nbrOff []int32
+	nbrID  []program.ChunkID
+	nbrW   []int64
+	costs  []int64
+	cross  int64
+}
+
+func newDirectEngine(prog *program.Program, placeG *graph.Graph, chunker *program.Chunker, lineBytes, period int) *directEngine {
+	e := &directEngine{
+		occState: newOccState(prog, chunker, lineBytes, period),
+		costs:    make([]int64, period),
+	}
+	nc := chunker.NumChunks()
+	es := placeG.Edges()
+	deg := make([]int32, nc+1)
+	for _, ed := range es {
+		deg[ed.U+1]++
+		deg[ed.V+1]++
+	}
+	for i := 0; i < nc; i++ {
+		deg[i+1] += deg[i]
+	}
+	e.nbrOff = deg
+	e.nbrID = make([]program.ChunkID, 2*len(es))
+	e.nbrW = make([]int64, 2*len(es))
+	fill := make([]int32, nc)
+	for _, ed := range es {
+		i := e.nbrOff[ed.U] + fill[ed.U]
+		e.nbrID[i], e.nbrW[i] = program.ChunkID(ed.V), ed.W
+		fill[ed.U]++
+		j := e.nbrOff[ed.V] + fill[ed.V]
+		e.nbrID[j], e.nbrW[j] = program.ChunkID(ed.U), ed.W
+		fill[ed.V]++
+	}
+	return e
+}
+
+func (e *directEngine) crossEdgesScanned() int64 { return e.cross }
+
+// bestOffset returns the first offset minimizing the conflict metric for
+// shifting node v against node u, identical to the oracle's bestAlignment.
+func (e *directEngine) bestOffset(u, v graph.NodeID) int {
+	costs := e.costs
+	for i := range costs {
+		costs[i] = 0
+	}
+	// Scan from whichever node has fewer chunks; the cost index is always
+	// (u-side line − v-side line) mod period because the offset shifts v.
+	// The accumulation order differs between the two directions but the
+	// int64 sums are exact, so the cost vector is identical either way.
+	cu, cv := e.nodeChunks[u], e.nodeChunks[v]
+	if len(cu) <= len(cv) {
+		e.accumulate(costs, cu, v, false)
+	} else {
+		e.accumulate(costs, cv, u, true)
+	}
+	best, bestCost := 0, costs[0]
+	for i := 1; i < e.period; i++ {
+		if costs[i] < bestCost {
+			best, bestCost = i, costs[i]
+		}
+	}
+	return best
+}
+
+// accumulate walks the TRG_place adjacency of every chunk in from, keeping
+// the cross-edges whose far end is owned by other. fromIsV says whether the
+// near side is the shifting node v (so its lines are subtracted) or u.
+func (e *directEngine) accumulate(costs []int64, from []program.ChunkID, other graph.NodeID, fromIsV bool) {
+	for _, c := range from {
+		lo, hi := e.nbrOff[c], e.nbrOff[c+1]
+		for k := lo; k < hi; k++ {
+			far := e.nbrID[k]
+			if e.owner[far] != other {
+				continue
+			}
+			e.cross++
+			w := e.nbrW[k]
+			nearLines, farLines := e.chunkLines[c], e.chunkLines[far]
+			for _, ln := range nearLines {
+				for _, lf := range farLines {
+					if fromIsV {
+						costs[mod(int(lf)-int(ln), e.period)] += w
+					} else {
+						costs[mod(int(ln)-int(lf), e.period)] += w
+					}
+				}
+			}
+		}
+	}
+}
+
+// assocEngine is the Section 6 set-associative scorer with the same
+// incremental occupancy and buffer reuse: the per-merge occupancy arrays
+// are filled from the engine's chunk→line state (no chunker rebuild) and
+// the cost and occupancy buffers are reused across merges. The C² set-pair
+// triple charging of bestAlignmentAssoc is kept verbatim — the pair
+// database semantics need every co-resident set pair.
+type assocEngine struct {
+	occState
+	db         *trg.PairDB
+	occ1, occ2 lineOccupancy
+	costs      []int64
+}
+
+func newAssocEngine(prog *program.Program, db *trg.PairDB, chunker *program.Chunker, lineBytes, period int) *assocEngine {
+	return &assocEngine{
+		occState: newOccState(prog, chunker, lineBytes, period),
+		db:       db,
+		occ1:     make(lineOccupancy, period),
+		occ2:     make(lineOccupancy, period),
+		costs:    make([]int64, period),
+	}
+}
+
+func (e *assocEngine) crossEdgesScanned() int64 { return 0 }
+
+// fillOcc rebuilds a scratch occupancy array from the incremental state,
+// truncating (capacity-preserving) before refilling.
+func (e *assocEngine) fillOcc(occ lineOccupancy, id graph.NodeID) {
+	for i := range occ {
+		occ[i] = occ[i][:0]
+	}
+	for _, c := range e.nodeChunks[id] {
+		for _, l := range e.chunkLines[c] {
+			occ[l] = append(occ[l], c)
+		}
+	}
+}
+
+func (e *assocEngine) bestOffset(u, v graph.NodeID) int {
+	e.fillOcc(e.occ1, u)
+	e.fillOcc(e.occ2, v)
+	costs := e.costs
+	for i := 0; i < e.period; i++ {
+		var total int64
+		for j := 0; j < e.period; j++ {
+			a := e.occ1[mod(j+i, e.period)]
+			b := e.occ2[j]
+			if len(a) == 0 || len(b) == 0 {
+				continue
+			}
+			total += assocSetCost(a, b, e.db)
+			total += assocSetCost(b, a, e.db)
+		}
+		costs[i] = total
+	}
+	best, bestCost := 0, costs[0]
+	for i := 1; i < e.period; i++ {
+		if costs[i] < bestCost {
+			best, bestCost = i, costs[i]
+		}
+	}
+	return best
+}

@@ -36,8 +36,23 @@ type Metrics struct {
 	// Section 4.1's greedy phase).
 	Merges int64
 	// AlignOffsets counts candidate cache-relative offsets evaluated by
-	// the Figure 4 alignment search across all merges (period per merge).
+	// the Figure 4 alignment search across all merges. By definition this
+	// is period per merge — every offset is a candidate and the search
+	// considers the full cost vector — even though the edge-driven scorer
+	// touches only the cost entries reachable from cross-edges; it is a
+	// measure of search-space size, not of scoring work (CrossEdges is).
 	AlignOffsets int64
+	// HeapPops counts heap-top examinations by the working graph's indexed
+	// heaviest-edge selector; StalePops counts the subset discarded as out
+	// of date (lazy invalidation). HeapPops-StalePops equals the number of
+	// successful edge selections, which is exactly Merges: the terminal
+	// empty-graph check only discards stale entries.
+	HeapPops  int64
+	StalePops int64
+	// CrossEdges counts TRG_place cross-edges scanned by the edge-driven
+	// direct-mapped alignment scorer across all merges (zero for the
+	// set-associative engine, which charges set pairs instead).
+	CrossEdges int64
 }
 
 // PlaceCounted is Place, additionally tallying merge-loop effort into m.
@@ -47,11 +62,8 @@ func PlaceCounted(prog *program.Program, res *trg.Result, pop *popular.Set, cfg 
 		return nil, err
 	}
 	period := cfg.NumLines()
-	align := func(n1, n2 *node) int {
-		off, _ := bestAlignment(n1, n2, res.Place, res.Chunker, prog, cfg.LineBytes, period)
-		return off
-	}
-	return placeCommon(prog, res, pop, cfg, period, align, m)
+	eng := newDirectEngine(prog, res.Place, res.Chunker, cfg.LineBytes, period)
+	return placeCommon(prog, res, pop, cfg, period, eng, m)
 }
 
 // PlaceAssoc runs the Section 6 set-associative variant: alignment costs
@@ -71,11 +83,8 @@ func PlaceAssoc(prog *program.Program, res *trg.Result, db *trg.PairDB, pop *pop
 		return nil, fmt.Errorf("core: PlaceAssoc requires a pair database; use trg.BuildPairs")
 	}
 	period := cfg.NumSets()
-	align := func(n1, n2 *node) int {
-		off, _ := bestAlignmentAssoc(n1, n2, db, res.Chunker, prog, cfg.LineBytes, period)
-		return off
-	}
-	return placeCommon(prog, res, pop, cfg, period, align, nil)
+	eng := newAssocEngine(prog, db, res.Chunker, cfg.LineBytes, period)
+	return placeCommon(prog, res, pop, cfg, period, eng, nil)
 }
 
 // Assign runs the GBSC merging phase only, returning the cache-relative
@@ -86,11 +95,8 @@ func Assign(prog *program.Program, res *trg.Result, pop *popular.Set, cfg cache.
 		return nil, err
 	}
 	period := cfg.NumLines()
-	align := func(n1, n2 *node) int {
-		off, _ := bestAlignment(n1, n2, res.Place, res.Chunker, prog, cfg.LineBytes, period)
-		return off
-	}
-	return assign(prog, res, pop, period, align, nil)
+	eng := newDirectEngine(prog, res.Place, res.Chunker, cfg.LineBytes, period)
+	return assign(prog, res, pop, period, eng, nil)
 }
 
 // Linearize produces the final layout from (possibly modified) placement
@@ -118,28 +124,29 @@ func PlacePageAware(prog *program.Program, res *trg.Result, pop *popular.Set, cf
 	return place.LinearizePageAware(prog, items, pop.Unpopular(prog), cfg, cfg.NumLines(), res.Select, 4)
 }
 
-func placeCommon(prog *program.Program, res *trg.Result, pop *popular.Set, cfg cache.Config, period int, align func(n1, n2 *node) int, m *Metrics) (*program.Layout, error) {
+func placeCommon(prog *program.Program, res *trg.Result, pop *popular.Set, cfg cache.Config, period int, eng alignEngine, m *Metrics) (*program.Layout, error) {
 	if pop == nil {
 		pop = popular.All(prog)
 	}
-	items, err := assign(prog, res, pop, period, align, m)
+	items, err := assign(prog, res, pop, period, eng, m)
 	if err != nil {
 		return nil, err
 	}
 	return place.Linearize(prog, items, pop.Unpopular(prog), cfg, period)
 }
 
-func assign(prog *program.Program, res *trg.Result, pop *popular.Set, period int, align func(n1, n2 *node) int, m *Metrics) ([]place.Placed, error) {
+func assign(prog *program.Program, res *trg.Result, pop *popular.Set, period int, eng alignEngine, m *Metrics) ([]place.Placed, error) {
 	if pop == nil {
 		pop = popular.All(prog)
 	}
 
 	// Working graph: a copy of TRG_select (Section 2 / Section 4.1).
 	working := res.Select.Clone()
-	nodes := make(map[graph.NodeID]*node)
+	nodes := make(map[graph.NodeID]*node, len(pop.IDs))
 	for _, p := range pop.IDs {
 		working.AddNode(graph.NodeID(p)) // popular but edgeless procedures still get placed
 		nodes[graph.NodeID(p)] = newNode(p)
+		eng.addNode(graph.NodeID(p), p)
 	}
 	for _, id := range working.Nodes() {
 		if _, ok := nodes[id]; !ok {
@@ -160,17 +167,25 @@ func assign(prog *program.Program, res *trg.Result, pop *popular.Set, period int
 			m.Merges++
 			m.AlignOffsets += int64(period)
 		}
-		off := align(n1, n2)
+		off := eng.bestOffset(e.U, e.V)
 		n2.shift(off, period)
 		n1.absorb(n2)
+		eng.merged(e.U, e.V, off)
 		working.MergeNodes(e.U, e.V)
 		delete(nodes, e.V)
+	}
+	if m != nil {
+		pops, stale := working.SelectorStats()
+		m.HeapPops += pops
+		m.StalePops += stale
+		m.CrossEdges += eng.crossEdgesScanned()
 	}
 
 	// Gather the surviving nodes' tuples. TRG_select "is not necessarily
 	// reduced to a single node" (Section 4.3); every node's internal
-	// alignment is preserved in the final list.
-	var items []place.Placed
+	// alignment is preserved in the final list. Every popular procedure
+	// appears exactly once across the nodes, so the capacity is exact.
+	items := make([]place.Placed, 0, len(pop.IDs))
 	for _, id := range working.Nodes() {
 		items = append(items, nodes[id].procs...)
 	}

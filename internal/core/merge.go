@@ -9,7 +9,12 @@ import (
 // bestAlignment implements the offset search of merge_nodes (Figure 4): it
 // evaluates every cache-relative offset of n2 with respect to n1 and returns
 // the offset with the lowest conflict metric, taking the first of equal-cost
-// offsets. The metric for offset i is
+// offsets.
+//
+// This is the naive O(C²·occ²) implementation, retained (together with
+// occupancy and bestAlignmentAssoc) as the reference oracle for the
+// edge-driven fast engines in align.go; the production merge loop no
+// longer calls it. The metric for offset i is
 //
 //	Σ_j Σ_{p1 ∈ c1[(j+i) mod C]} Σ_{p2 ∈ c2[j]} W_place(p1, p2)
 //
@@ -50,7 +55,10 @@ func bestAlignment(n1, n2 *node, placeG *graph.Graph, chunker *program.Chunker, 
 }
 
 // bestAlignmentAssoc is the Section 6 variant of the offset search for
-// k-way set-associative caches with k=2: the cost of an alignment charges
+// k-way set-associative caches with k=2. Like bestAlignment it is the
+// naive reference oracle; assocEngine in align.go computes the same costs
+// from incrementally maintained occupancy with reused buffers. The cost of
+// an alignment charges
 // D(p,{r,s}) whenever p, r and s fall into the same set with the pair {r,s}
 // containing at least one block from the node opposite p — pairs entirely
 // within p's own node are intra-node conflicts that the alignment cannot

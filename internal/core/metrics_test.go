@@ -55,4 +55,18 @@ func TestPlaceCountedMetrics(t *testing.T) {
 	if want := m.Merges * int64(tinyCache.NumLines()); m.AlignOffsets != want {
 		t.Errorf("AlignOffsets = %d, want Merges*NumLines = %d", m.AlignOffsets, want)
 	}
+	// The indexed selector examines at least one entry per selection, and
+	// successful selections are exactly the merges (the terminal
+	// empty-graph check only discards stale entries).
+	if m.HeapPops <= 0 {
+		t.Fatalf("HeapPops = %d, want > 0", m.HeapPops)
+	}
+	if got := m.HeapPops - m.StalePops; got != m.Merges {
+		t.Errorf("HeapPops-StalePops = %d, want Merges = %d", got, m.Merges)
+	}
+	// Every merge on a connected TRG scans at least one TRG_place
+	// cross-edge with this trace shape (full-extent events).
+	if m.CrossEdges <= 0 {
+		t.Errorf("CrossEdges = %d, want > 0", m.CrossEdges)
+	}
 }

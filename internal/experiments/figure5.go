@@ -174,6 +174,9 @@ func runAlgorithm(alg AlgorithmName, b *bench, cfg cache.Config, rng *rand.Rand,
 		if err == nil {
 			sh.Add("gbsc/merges", m.Merges)
 			sh.Add("gbsc/align_offsets", m.AlignOffsets)
+			sh.Add("gbsc/heap_pops", m.HeapPops)
+			sh.Add("gbsc/stale_pops", m.StalePops)
+			sh.Add("gbsc/cross_edges", m.CrossEdges)
 		}
 	default:
 		return 0, fmt.Errorf("unknown algorithm %q", alg)

@@ -4,7 +4,10 @@
 // the heart of every greedy placement algorithm in this repository.
 package graph
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // NodeID identifies a graph node. WCGs use program.ProcID values; TRG_place
 // uses program.ChunkID values. Both are dense int32 index spaces.
@@ -14,6 +17,10 @@ type NodeID = int32
 // conflict-metric counts and therefore non-negative.
 type Graph struct {
 	adj map[NodeID]map[NodeID]int64
+	// sel is the indexed heaviest-edge selector (see heap.go), nil until
+	// the first HeaviestEdge call. Once active, every mutation keeps it
+	// current so selection stays O(log E) amortized across merge loops.
+	sel *edgeSelector
 }
 
 // New creates an empty graph.
@@ -45,6 +52,7 @@ func (g *Graph) AddEdgeWeight(u, v NodeID, w int64) {
 	g.AddNode(v)
 	g.adj[u][v] += w
 	g.adj[v][u] += w
+	g.notifyEdge(u, v, g.adj[u][v])
 }
 
 // Increment adds 1 to the weight of edge (u,v).
@@ -77,6 +85,7 @@ func (g *Graph) SetWeight(u, v NodeID, w int64) {
 	g.AddNode(v)
 	g.adj[u][v] = w
 	g.adj[v][u] = w
+	g.notifyEdge(u, v, w)
 }
 
 // NumNodes returns the number of nodes.
@@ -97,7 +106,7 @@ func (g *Graph) Nodes() []NodeID {
 	for n := range g.adj {
 		ids = append(ids, n)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }
 
@@ -112,9 +121,19 @@ func (g *Graph) Neighbors(n NodeID, fn func(v NodeID, w int64)) {
 	for v := range m {
 		vs = append(vs, v)
 	}
-	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	slices.Sort(vs)
 	for _, v := range vs {
 		fn(v, m[v])
+	}
+}
+
+// ForEachNeighbor invokes fn for each neighbor of n with the edge weight,
+// in unspecified order and without allocating. Use it only for commutative
+// folds (sums, argmax with a total-order tie-break); callers whose output
+// depends on visit order must use Neighbors instead.
+func (g *Graph) ForEachNeighbor(n NodeID, fn func(v NodeID, w int64)) {
+	for v, w := range g.adj[n] {
+		fn(v, w)
 	}
 }
 
@@ -128,9 +147,10 @@ type Edge struct {
 }
 
 // Edges returns all edges sorted by (U,V); useful for deterministic
-// iteration and serialization.
+// iteration and serialization. The result is sized exactly and built with
+// a single allocation.
 func (g *Graph) Edges() []Edge {
-	var es []Edge
+	es := make([]Edge, 0, g.NumEdges())
 	for u, m := range g.adj {
 		for v, w := range m {
 			if u < v {
@@ -138,11 +158,11 @@ func (g *Graph) Edges() []Edge {
 			}
 		}
 	}
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].U != es[j].U {
-			return es[i].U < es[j].U
+	slices.SortFunc(es, func(a, b Edge) int {
+		if c := cmp.Compare(a.U, b.U); c != 0 {
+			return c
 		}
-		return es[i].V < es[j].V
+		return cmp.Compare(a.V, b.V)
 	})
 	return es
 }
@@ -152,19 +172,31 @@ func (g *Graph) Edges() []Edge {
 // ties are otherwise "decided arbitrarily" yet affect all future steps
 // (Section 5.1), so pinning them down matters for reproducibility.
 // ok is false when the graph has no edges.
+//
+// The first call builds an indexed max-heap over the edges in O(E);
+// afterwards selection is O(log E) amortized because mutations push fresh
+// entries and stale ones are discarded lazily at the top. The returned edge
+// is byte-identical to the retained O(E) scan oracle (heaviestEdgeScan)
+// under the same (W desc, U asc, V asc) total order.
 func (g *Graph) HeaviestEdge() (e Edge, ok bool) {
-	for u, m := range g.adj {
-		for v, w := range m {
-			if u > v {
-				continue
-			}
-			if !ok || w > e.W || (w == e.W && (u < e.U || (u == e.U && v < e.V))) {
-				e = Edge{U: u, V: v, W: w}
-				ok = true
+	if g.sel == nil {
+		g.buildSelector()
+	}
+	s := g.sel
+	for len(s.entries) > 0 {
+		top := s.entries[0]
+		s.pops++
+		if m, live := g.adj[top.U]; live {
+			if w, exists := m[top.V]; exists && w == top.W {
+				// A valid entry is a peek, not a pop: the edge stays
+				// selectable until a mutation invalidates it.
+				return top, true
 			}
 		}
+		s.stale++
+		s.popTop()
 	}
-	return e, ok
+	return Edge{}, false
 }
 
 // MergeNodes merges node v into node u: every edge (v,r) becomes (u,r) with
@@ -187,6 +219,7 @@ func (g *Graph) MergeNodes(u, v NodeID) {
 		g.adj[u][r] += w
 		g.adj[r][u] += w
 		delete(g.adj[r], v)
+		g.notifyEdge(u, r, g.adj[u][r])
 	}
 	delete(g.adj[u], v)
 	delete(g.adj, v)
@@ -204,9 +237,11 @@ func (g *Graph) RemoveNode(n NodeID) {
 	delete(g.adj, n)
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. The copy's adjacency maps are preallocated to
+// the source's sizes; the heaviest-edge selector is not copied (the clone
+// rebuilds it lazily on its first HeaviestEdge call).
 func (g *Graph) Clone() *Graph {
-	c := New()
+	c := &Graph{adj: make(map[NodeID]map[NodeID]int64, len(g.adj))}
 	for u, m := range g.adj {
 		cm := make(map[NodeID]int64, len(m))
 		for v, w := range m {
