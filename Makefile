@@ -41,13 +41,14 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
-# Machine-readable record of the GBSC merge-loop hot paths (ns/op, B/op,
-# allocs/op): the Section 4.4 loop benchmarks plus the selector/scorer
-# micro-benchmarks, converted to JSON by cmd/benchjson and committed as
-# BENCH_gbsc.json so the perf trajectory is tracked per change. Override
-# BENCHTIME (e.g. BENCHTIME=1x in CI) to trade precision for speed.
+# Machine-readable record of the pipeline hot paths (ns/op, B/op,
+# allocs/op): the Section 4.4 merge-loop benchmarks plus the selector/
+# scorer micro-benchmarks and the trace-replay engine benchmarks,
+# converted to JSON by cmd/benchjson and committed as BENCH_gbsc.json so
+# the perf trajectory is tracked per change. Override BENCHTIME (e.g.
+# BENCHTIME=1x in CI) to trade precision for speed.
 BENCHTIME ?= 1s
-GBSC_BENCHES = ^(BenchmarkHeaviestEdge|BenchmarkBestAlignment|BenchmarkBestAlignmentAssoc|BenchmarkMergeNodes|BenchmarkGBSCPlacement)$$
+GBSC_BENCHES = ^(BenchmarkHeaviestEdge|BenchmarkBestAlignment|BenchmarkBestAlignmentAssoc|BenchmarkMergeNodes|BenchmarkGBSCPlacement|BenchmarkRunTrace|BenchmarkRunTraceClassified|BenchmarkCompileTrace)$$
 
 bench-json:
 	$(GO) test -run '^$$' -bench '$(GBSC_BENCHES)' -benchmem \

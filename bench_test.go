@@ -265,6 +265,81 @@ func BenchmarkHKCPlacement(b *testing.B) {
 	}
 }
 
+// replayFixture builds the repeat-heavy synthetic workload for the trace
+// replay benchmarks: many small procedures activated with large repeat
+// counts, the regime where the Section 5.1 perturbation sweeps and the
+// Figure 5/6 grids spend their wall-clock. Spans are small relative to the
+// cache, so a collapsing engine can account iterations 2..r in O(1).
+func replayFixture() (*Program, *Layout, *Trace) {
+	rng := rand.New(rand.NewSource(7))
+	procs := make([]Procedure, 200)
+	for i := range procs {
+		procs[i] = Procedure{
+			Name: "p" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i/676)),
+			Size: 32 + rng.Intn(480),
+		}
+	}
+	prog, err := NewProgram(procs)
+	if err != nil {
+		panic(err)
+	}
+	tr := &Trace{}
+	for i := 0; i < 20_000; i++ {
+		tr.Append(Event{
+			Proc:   ProcID(rng.Intn(len(procs))),
+			Extent: int32(rng.Intn(256)),    // 0 means the full procedure
+			Repeat: int32(1 + rng.Intn(63)), // loop-heavy activations
+		})
+	}
+	return prog, DefaultLayout(prog), tr
+}
+
+// BenchmarkRunTrace times one full replay of the repeat-heavy suite against
+// a fixed layout through the reusable-simulator path the experiment
+// drivers use (one Sim, Reset per layout).
+func BenchmarkRunTrace(b *testing.B) {
+	prog, layout, tr := replayFixture()
+	_ = prog
+	sim := cache.MustNewSim(cache.PaperConfig)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := sim.RunTrace(layout, tr)
+		if st.Refs == 0 {
+			b.Fatal("empty replay")
+		}
+	}
+}
+
+// BenchmarkRunTraceClassified times the classifying replay (simulated cache
+// plus fully-associative shadow) on the same workload.
+func BenchmarkRunTraceClassified(b *testing.B) {
+	_, layout, tr := replayFixture()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs, err := cache.RunTraceClassified(cache.PaperConfig, layout, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cs.Refs == 0 {
+			b.Fatal("empty replay")
+		}
+	}
+}
+
+// BenchmarkCompileTrace times the per-(program, trace) precompilation the
+// replay engine amortizes across layouts: the full extent/repeat
+// resolution of the 20k-event fixture.
+func BenchmarkCompileTrace(b *testing.B) {
+	prog, _, tr := replayFixture()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ct := cache.CompileTrace(prog, tr)
+		if ct.Len() != len(tr.Events) {
+			b.Fatal("short compilation")
+		}
+	}
+}
+
 // BenchmarkCacheSim times the trace-driven simulator in refs/op terms.
 func BenchmarkCacheSim(b *testing.B) {
 	pair := tracegen.Lookup(tracegen.Suite(0.3), "perl")

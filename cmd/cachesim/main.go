@@ -6,6 +6,12 @@
 //	cachesim -prog perl.prog -layout perl.layout -trace perl-test.trace
 //	cachesim -prog perl.prog -trace perl-test.trace          # default layout
 //	cachesim -prog perl.prog -trace perl-test.trace -stats report.json
+//	cachesim -prog perl.prog -layout a.layout,b.layout -trace perl-test.trace
+//
+// With a comma-separated -layout list every layout is replayed against the
+// same trace: the trace is compiled once and a single simulator is reused
+// across runs (reset between layouts), so comparing candidate layouts costs
+// one trace load and one compilation no matter how many layouts are given.
 package main
 
 import (
@@ -36,7 +42,7 @@ func main() {
 
 func run() error {
 	progPath := flag.String("prog", "", "program description file (required)")
-	layoutPath := flag.String("layout", "", "layout file (default: link-order layout)")
+	layoutPath := flag.String("layout", "", "comma-separated layout files (default: link-order layout)")
 	tracePath := flag.String("trace", "", "binary trace file (required)")
 	cacheBytes := flag.Int("cache", 8192, "cache size in bytes")
 	lineBytes := flag.Int("line", 32, "cache line size in bytes")
@@ -79,15 +85,23 @@ func run() error {
 		return err
 	}
 
-	var layout *program.Layout
-	if *layoutPath == "" {
-		layout = program.DefaultLayout(prog)
-	} else {
-		lf, err := os.Open(*layoutPath)
+	// A comma-separated -layout list replays every layout against the same
+	// trace; the empty string selects the link-order layout.
+	layoutPaths := strings.Split(*layoutPath, ",")
+	layouts := make([]*program.Layout, len(layoutPaths))
+	names := make([]string, len(layoutPaths))
+	for i, path := range layoutPaths {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			layouts[i] = program.DefaultLayout(prog)
+			names[i] = "default"
+			continue
+		}
+		lf, err := os.Open(path)
 		if err != nil {
 			return err
 		}
-		layout, err = program.ReadLayout(lf, prog)
+		layout, err := program.ReadLayout(lf, prog)
 		if cerr := lf.Close(); err == nil {
 			err = cerr
 		}
@@ -97,6 +111,8 @@ func run() error {
 		if err := layout.Validate(); err != nil {
 			return err
 		}
+		layouts[i] = layout
+		names[i] = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 	}
 
 	tf, err := os.Open(*tracePath)
@@ -118,9 +134,11 @@ func run() error {
 	// Universal invariants only: an externally supplied layout carries no
 	// popularity or alignment claims, so gaps are legal — but duplicates,
 	// overlaps, and byte loss never are.
-	vs := invariant.CheckLayout(prog, layout, invariant.LayoutOptions{Cache: cfg})
-	if err := invariant.Enforce(checkMode, "cachesim/layout", vs, log.Printf); err != nil {
-		return err
+	for i, layout := range layouts {
+		vs := invariant.CheckLayout(prog, layout, invariant.LayoutOptions{Cache: cfg})
+		if err := invariant.Enforce(checkMode, "cachesim/layout/"+names[i], vs, log.Printf); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("cache: %dB, %dB lines, %d-way\n", cfg.SizeBytes, cfg.LineBytes, cfg.Assoc)
 
@@ -146,46 +164,80 @@ func run() error {
 	}
 	bench := strings.TrimSuffix(filepath.Base(*progPath), filepath.Ext(*progPath))
 
+	// The trace is compiled once and shared by every layout below; the
+	// non-classified path additionally reuses one simulator across layouts
+	// (RunCompiled resets it between runs).
+	ct := cache.CompileTrace(prog, tr)
+	multi := len(layouts) > 1
+	addReplay := func(rs cache.ReplayStats) {
+		sh.Add("cache/replay_events", rs.Events)
+		sh.Add("cache/replay_fast_events", rs.FastEvents)
+		sh.Add("cache/replay_fallback_events", rs.FallbackEvents)
+		sh.Add("cache/replay_collapsed_repeats", rs.CollapsedRepeats)
+		sh.Add("cache/replay_collapsed_refs", rs.CollapsedRefs)
+	}
+	// The report labels the single-layout run "sim" (the historical name);
+	// multi-layout runs are labelled per layout.
+	label := func(i int) string {
+		if multi {
+			return names[i]
+		}
+		return "sim"
+	}
+
 	if *classify {
-		stop := time.Now()
-		cs, err := cache.RunTraceClassified(cfg, layout, tr)
-		if err != nil {
-			return err
-		}
-		sh.AddDuration("cachesim/sim_wall", time.Since(stop))
-		fmt.Printf("refs:      %d\n", cs.Refs)
-		fmt.Printf("misses:    %d (cold %d, capacity %d, conflict %d)\n",
-			cs.Misses, cs.Cold, cs.Capacity, cs.Conflict)
-		fmt.Printf("miss rate: %.4f%%\n", 100*cs.MissRate())
-		fmt.Printf("\nprocedures with the most misses:\n")
-		for _, p := range cs.TopMissProcs(*top) {
-			fmt.Printf("  %-30s %10d\n", prog.Name(p), cs.PerProc[p])
-		}
-		sh.Add("cache/refs", cs.Refs)
-		sh.Add("cache/misses", cs.Misses)
-		sh.Add("cache/cold_misses", cs.Cold)
-		sh.Add("cache/conflict_misses", cs.Conflict)
-		if rep != nil {
-			rep.AddMissRate(bench, "sim", cs.MissRate())
+		for i, layout := range layouts {
+			if multi {
+				fmt.Printf("\n== %s ==\n", names[i])
+			}
+			start := time.Now()
+			cs, rs, err := cache.RunCompiledClassified(cfg, ct, layout)
+			if err != nil {
+				return err
+			}
+			sh.AddDuration("cachesim/sim_wall", time.Since(start))
+			fmt.Printf("refs:      %d\n", cs.Refs)
+			fmt.Printf("misses:    %d (cold %d, capacity %d, conflict %d)\n",
+				cs.Misses, cs.Cold, cs.Capacity, cs.Conflict)
+			fmt.Printf("miss rate: %.4f%%\n", 100*cs.MissRate())
+			fmt.Printf("\nprocedures with the most misses:\n")
+			for _, p := range cs.TopMissProcs(*top) {
+				fmt.Printf("  %-30s %10d\n", prog.Name(p), cs.PerProc[p])
+			}
+			sh.Add("cache/refs", cs.Refs)
+			sh.Add("cache/misses", cs.Misses)
+			sh.Add("cache/cold_misses", cs.Cold)
+			sh.Add("cache/conflict_misses", cs.Conflict)
+			addReplay(rs)
+			if rep != nil {
+				rep.AddMissRate(bench, label(i), cs.MissRate())
+			}
 		}
 		return nil
 	}
 
-	start := time.Now()
-	st, err := cache.RunTrace(cfg, layout, tr)
+	sim, err := cache.NewSim(cfg)
 	if err != nil {
 		return err
 	}
-	sh.AddDuration("cachesim/sim_wall", time.Since(start))
-	fmt.Printf("refs:      %d\n", st.Refs)
-	fmt.Printf("misses:    %d (cold %d, conflict+capacity %d)\n", st.Misses, st.Cold, st.Conflict())
-	fmt.Printf("miss rate: %.4f%%\n", 100*st.MissRate())
-	sh.Add("cache/refs", st.Refs)
-	sh.Add("cache/misses", st.Misses)
-	sh.Add("cache/cold_misses", st.Cold)
-	sh.Add("cache/conflict_misses", st.Conflict())
-	if rep != nil {
-		rep.AddMissRate(bench, "sim", st.MissRate())
+	for i, layout := range layouts {
+		if multi {
+			fmt.Printf("\n== %s ==\n", names[i])
+		}
+		start := time.Now()
+		st := sim.RunCompiled(ct, layout)
+		sh.AddDuration("cachesim/sim_wall", time.Since(start))
+		fmt.Printf("refs:      %d\n", st.Refs)
+		fmt.Printf("misses:    %d (cold %d, conflict+capacity %d)\n", st.Misses, st.Cold, st.Conflict())
+		fmt.Printf("miss rate: %.4f%%\n", 100*st.MissRate())
+		sh.Add("cache/refs", st.Refs)
+		sh.Add("cache/misses", st.Misses)
+		sh.Add("cache/cold_misses", st.Cold)
+		sh.Add("cache/conflict_misses", st.Conflict())
+		addReplay(sim.Replay())
+		if rep != nil {
+			rep.AddMissRate(bench, label(i), st.MissRate())
+		}
 	}
 	return nil
 }

@@ -89,6 +89,30 @@ type Sim struct {
 	// not re-derive them from cfg on every reference.
 	lineBytes int64
 	numSets   int64
+	// lineShift/setMask strength-reduce the address arithmetic for
+	// power-of-two geometries (the common case, including every
+	// configuration the paper evaluates): addr→line becomes a shift and
+	// line→set a mask. The OK flags gate the fast arithmetic; non-power-
+	// of-two geometries — which Config.Validate accepts — fall back to
+	// div/mod with identical results.
+	lineShift   uint
+	lineShiftOK bool
+	setMask     int64
+	setMaskOK   bool
+	// collapseLimit is the largest activation line span that is provably
+	// self-conflict-free in this geometry (distinct sets when
+	// direct-mapped, at most Assoc span lines per set under LRU — both
+	// reduce to NumLines for consecutive line addresses). Spans within the
+	// limit replay repeats 2..r as guaranteed hits in O(1); larger spans
+	// fall back to the general loop.
+	collapseLimit int64
+	// memo caches the most recent trace compilation so hot loops that call
+	// RunTrace repeatedly with the same (program, trace) — the sweep and
+	// figure drivers replay one trace against hundreds of layouts — pay
+	// for compilation once.
+	memo *CompiledTrace
+	// replay counts engine fast-path behaviour for the current run.
+	replay ReplayStats
 	// dm is the direct-mapped fast path: when Assoc == 1 each set holds at
 	// most one line, so dm[s] is that line's tag (-1 when empty; line
 	// addresses are non-negative because layouts start at address 0) and
@@ -113,10 +137,17 @@ func NewSim(cfg Config) (*Sim, error) {
 		return nil, err
 	}
 	s := &Sim{
-		cfg:       cfg,
-		lineBytes: int64(cfg.LineBytes),
-		numSets:   int64(cfg.NumSets()),
-		epoch:     1,
+		cfg:           cfg,
+		lineBytes:     int64(cfg.LineBytes),
+		numSets:       int64(cfg.NumSets()),
+		collapseLimit: int64(cfg.NumLines()),
+		epoch:         1,
+	}
+	if shift, ok := log2(s.lineBytes); ok {
+		s.lineShift, s.lineShiftOK = shift, true
+	}
+	if _, ok := log2(s.numSets); ok {
+		s.setMask, s.setMaskOK = s.numSets-1, true
 	}
 	if cfg.Assoc == 1 {
 		s.dm = make([]int64, s.numSets)
@@ -141,6 +172,20 @@ func MustNewSim(cfg Config) *Sim {
 	return s
 }
 
+// log2 returns the base-2 logarithm of v and true when v is a positive
+// power of two.
+func log2(v int64) (uint, bool) {
+	if v <= 0 || v&(v-1) != 0 {
+		return 0, false
+	}
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n, true
+}
+
 // Config returns the simulator's configuration.
 func (s *Sim) Config() Config { return s.cfg }
 
@@ -153,6 +198,7 @@ func (s *Sim) Reset() {
 		s.sets[i] = s.sets[i][:0]
 	}
 	s.stats = Stats{}
+	s.replay = ReplayStats{}
 	s.epoch++
 	if s.epoch == 0 { // wraparound after ~4e9 Resets: actually clear the stamps
 		for i := range s.seen {
@@ -165,8 +211,24 @@ func (s *Sim) Reset() {
 // Access references the line containing byte address addr, updating LRU
 // state and statistics. It reports whether the access hit.
 func (s *Sim) Access(addr int64) bool {
-	lineAddr := addr / s.lineBytes
-	setIdx := int(lineAddr % s.numSets)
+	if s.lineShiftOK {
+		return s.accessLine(addr >> s.lineShift)
+	}
+	return s.accessLine(addr / s.lineBytes)
+}
+
+// accessLine references the line with line-granular address lineAddr (i.e.
+// byte address / LineBytes), updating LRU state and statistics. It is the
+// span-batched entry point the replay engine uses: callers that already
+// iterate line addresses skip the per-reference byte→line division that
+// Access performs.
+func (s *Sim) accessLine(lineAddr int64) bool {
+	var setIdx int
+	if s.setMaskOK {
+		setIdx = int(lineAddr & s.setMask)
+	} else {
+		setIdx = int(lineAddr % s.numSets)
+	}
 	s.stats.Refs++
 	if s.dm != nil {
 		if s.dm[setIdx] == lineAddr {
@@ -210,8 +272,30 @@ func (s *Sim) miss(lineAddr int64) {
 	}
 }
 
+// ensureSeen grows the cold-miss stamp array to cover every line of the
+// layout up front, so the miss path never reallocates mid-replay. Growth
+// preserves existing stamps; the epoch discipline keeps stale entries
+// inert.
+func (s *Sim) ensureSeen(layout *program.Layout) {
+	ext := int64(layout.Extent())
+	if ext <= 0 {
+		return
+	}
+	lines := (ext-1)/s.lineBytes + 1
+	if lines > int64(len(s.seen)) {
+		grown := make([]uint32, lines)
+		copy(grown, s.seen)
+		s.seen = grown
+	}
+}
+
 // Stats returns the accumulated statistics.
 func (s *Sim) Stats() Stats { return s.stats }
+
+// Replay returns the replay-engine counters accumulated since the last
+// Reset (equivalently, for the last RunTrace/RunCompiled call, which Reset
+// first). Runs replayed through the general Access loop leave them zero.
+func (s *Sim) Replay() ReplayStats { return s.replay }
 
 // RunTrace resets the simulator and replays tr (placed by layout) through
 // it, returning the resulting statistics. The layout supplies each
@@ -231,7 +315,27 @@ func (s *Sim) Stats() Stats { return s.stats }
 // The method form exists so hot loops (the perturbation sweeps) can reuse
 // one simulator's allocations across many layouts via Reset instead of
 // allocating a fresh simulator per measurement.
+//
+// Replay runs through the compiled engine (see RunCompiled): the trace is
+// precompiled once per (program, trace) pair — memoized across calls on
+// the same simulator — and activations whose placed line span is
+// self-conflict-free for this geometry account repeat iterations 2..r in
+// O(1) instead of replaying them. The statistics are byte-identical to the
+// general reference loop; differential tests enforce this against the
+// retained oracle.
 func (s *Sim) RunTrace(layout *program.Layout, tr *trace.Trace) Stats {
+	prog := layout.Program()
+	if !s.memo.matches(prog, tr) {
+		s.memo = CompileTrace(prog, tr)
+	}
+	return s.RunCompiled(s.memo, layout)
+}
+
+// runTraceOracle is the original general replay loop, retained verbatim as
+// the reference implementation the compiled engine is differentially
+// tested against: every activation expands its repeat count into
+// individual Access calls.
+func (s *Sim) runTraceOracle(layout *program.Layout, tr *trace.Trace) Stats {
 	s.Reset()
 	prog := layout.Program()
 	lb := s.lineBytes
@@ -244,6 +348,83 @@ func (s *Sim) RunTrace(layout *program.Layout, tr *trace.Trace) Stats {
 			for ln := first; ln <= last; ln++ {
 				s.Access(ln * lb)
 			}
+		}
+	}
+	return s.stats
+}
+
+// RunCompiled resets the simulator and replays the compiled trace placed
+// by layout, returning the resulting statistics — byte-identical to
+// RunTrace on the source trace (same reference stream, same cold/conflict
+// split), at a fraction of the cost:
+//
+//   - The effective extent and repeat count of every activation come from
+//     the compilation, not from per-event ExtentBytes/Repeats calls, so one
+//     compiled trace amortizes across every layout that replays it.
+//   - Repeat collapsing: an activation whose placed span of consecutive
+//     lines is self-conflict-free in this geometry (span ≤ NumLines — which
+//     gives distinct sets when direct-mapped and at most Assoc span lines
+//     per set under LRU) hits on every reference after its first iteration,
+//     and each iteration leaves the cache in the same state as the first.
+//     Iterations 2..r are therefore accounted as Refs += (r−1)·span with no
+//     simulation at all, turning O(r·span) into O(span). Spans that exceed
+//     the limit can self-evict, so they fall back to the general loop.
+//   - Set indexing is strength-reduced to shift/mask for power-of-two
+//     geometries, and the direct-mapped span walk is batched (no per-line
+//     Access call).
+//
+// The layout must place the program the trace was compiled against.
+func (s *Sim) RunCompiled(ct *CompiledTrace, layout *program.Layout) Stats {
+	ct.checkProgram(layout)
+	s.Reset()
+	s.ensureSeen(layout)
+	lb := s.lineBytes
+	for i, p := range ct.procs {
+		base := int64(layout.Addr(p))
+		ext := int64(ct.exts[i])
+		var first, last int64
+		if s.lineShiftOK {
+			first, last = base>>s.lineShift, (base+ext-1)>>s.lineShift
+		} else {
+			first, last = base/lb, (base+ext-1)/lb
+		}
+		span := last - first + 1
+		r := int64(ct.reps[i])
+		s.replay.Events++
+		iters := r
+		collapsed := false
+		if r > 1 {
+			if span <= s.collapseLimit {
+				iters, collapsed = 1, true
+			} else {
+				s.replay.FallbackEvents++
+			}
+		}
+		if s.dm != nil && s.setMaskOK {
+			// Batched direct-mapped span walk: probe the tag array
+			// directly, count the span's references in one add.
+			dm, mask := s.dm, s.setMask
+			for it := int64(0); it < iters; it++ {
+				for ln := first; ln <= last; ln++ {
+					if dm[ln&mask] != ln {
+						dm[ln&mask] = ln
+						s.miss(ln)
+					}
+				}
+			}
+			s.stats.Refs += iters * span
+		} else {
+			for it := int64(0); it < iters; it++ {
+				for ln := first; ln <= last; ln++ {
+					s.accessLine(ln)
+				}
+			}
+		}
+		if collapsed {
+			s.stats.Refs += (r - 1) * span
+			s.replay.FastEvents++
+			s.replay.CollapsedRepeats += r - 1
+			s.replay.CollapsedRefs += (r - 1) * span
 		}
 	}
 	return s.stats
@@ -265,6 +446,28 @@ func RunTrace(cfg Config, layout *program.Layout, tr *trace.Trace) (Stats, error
 // rate.
 func MissRate(cfg Config, layout *program.Layout, tr *trace.Trace) (float64, error) {
 	st, err := RunTrace(cfg, layout, tr)
+	if err != nil {
+		return 0, err
+	}
+	return st.MissRate(), nil
+}
+
+// RunCompiled replays a precompiled trace through a fresh simulation.
+// Callers replaying the same trace against many layouts should compile it
+// once (CompileTrace) and use this instead of RunTrace so the per-event
+// extent/repeat resolution is not repeated per layout.
+func RunCompiled(cfg Config, ct *CompiledTrace, layout *program.Layout) (Stats, error) {
+	sim, err := NewSim(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	return sim.RunCompiled(ct, layout), nil
+}
+
+// MissRateCompiled is a convenience wrapper around RunCompiled returning
+// only the miss rate.
+func MissRateCompiled(cfg Config, ct *CompiledTrace, layout *program.Layout) (float64, error) {
+	st, err := RunCompiled(cfg, ct, layout)
 	if err != nil {
 		return 0, err
 	}

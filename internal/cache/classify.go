@@ -86,8 +86,18 @@ func (f *fullyAssoc) access(lineAddr int64) bool {
 // every miss as cold, capacity, or conflict and attributes misses to the
 // procedure being fetched. It is slower than RunTrace (it runs a
 // fully-associative shadow cache); use it for analysis, not for the
-// randomized-placement sweeps.
+// randomized-placement sweeps. The replay runs through the compiled
+// engine (RunCompiledClassified); callers classifying one trace against
+// many layouts should compile the trace once and call that directly.
 func RunTraceClassified(cfg Config, layout *program.Layout, tr *trace.Trace) (ClassifiedStats, error) {
+	cs, _, err := RunCompiledClassified(cfg, CompileTrace(layout.Program(), tr), layout)
+	return cs, err
+}
+
+// runTraceClassifiedOracle is the original classification loop, retained
+// verbatim as the reference the compiled engine is differentially tested
+// against.
+func runTraceClassifiedOracle(cfg Config, layout *program.Layout, tr *trace.Trace) (ClassifiedStats, error) {
 	sim, err := NewSim(cfg)
 	if err != nil {
 		return ClassifiedStats{}, err
@@ -125,6 +135,82 @@ func RunTraceClassified(cfg Config, layout *program.Layout, tr *trace.Trace) (Cl
 	}
 	cs.Stats = sim.Stats()
 	return cs, nil
+}
+
+// RunCompiledClassified replays a precompiled trace with miss
+// classification, returning the classified statistics (byte-identical to
+// RunTraceClassified on the source trace) plus the replay engine counters.
+//
+// Repeat collapsing applies here exactly as in (*Sim).RunCompiled: the
+// fully-associative shadow has the same capacity as the simulated cache
+// (Config.NumLines), so a span within the collapse limit fits the shadow
+// too — iterations 2..r hit in both caches, produce no misses to classify,
+// and leave both LRU states as iteration 1 left them. Cold-line tracking
+// uses a flat slice over the layout's line range instead of the oracle's
+// map (line addresses are bounded by the layout extent).
+func RunCompiledClassified(cfg Config, ct *CompiledTrace, layout *program.Layout) (ClassifiedStats, ReplayStats, error) {
+	sim, err := NewSim(cfg)
+	if err != nil {
+		return ClassifiedStats{}, ReplayStats{}, err
+	}
+	ct.checkProgram(layout)
+	sim.ensureSeen(layout)
+	cs := ClassifiedStats{PerProc: make([]int64, ct.prog.NumProcs())}
+	shadow := newFullyAssoc(cfg.NumLines())
+
+	lb := sim.lineBytes
+	var coldSeen []bool
+	if ext := int64(layout.Extent()); ext > 0 {
+		coldSeen = make([]bool, (ext-1)/lb+1)
+	}
+	for i, p := range ct.procs {
+		base := int64(layout.Addr(p))
+		ext := int64(ct.exts[i])
+		var first, last int64
+		if sim.lineShiftOK {
+			first, last = base>>sim.lineShift, (base+ext-1)>>sim.lineShift
+		} else {
+			first, last = base/lb, (base+ext-1)/lb
+		}
+		span := last - first + 1
+		r := int64(ct.reps[i])
+		sim.replay.Events++
+		iters := r
+		collapsed := false
+		if r > 1 {
+			if span <= sim.collapseLimit {
+				iters, collapsed = 1, true
+			} else {
+				sim.replay.FallbackEvents++
+			}
+		}
+		for it := int64(0); it < iters; it++ {
+			for ln := first; ln <= last; ln++ {
+				faHit := shadow.access(ln)
+				if sim.accessLine(ln) {
+					continue
+				}
+				cs.PerProc[p]++
+				switch {
+				case !coldSeen[ln]:
+					cs.Cold++
+					coldSeen[ln] = true
+				case faHit:
+					cs.Conflict++
+				default:
+					cs.Capacity++
+				}
+			}
+		}
+		if collapsed {
+			sim.stats.Refs += (r - 1) * span
+			sim.replay.FastEvents++
+			sim.replay.CollapsedRepeats += r - 1
+			sim.replay.CollapsedRefs += (r - 1) * span
+		}
+	}
+	cs.Stats = sim.Stats()
+	return cs, sim.Replay(), nil
 }
 
 // TopMissProcs returns the n procedures with the most attributed misses,

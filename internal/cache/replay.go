@@ -1,0 +1,115 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// CompiledTrace is a trace precompiled for replay: the effective extent and
+// repeat count of every activation resolved once against one program and
+// stored in flat arrays. The resolution (Extent 0 → full procedure size,
+// extents clamped to the procedure, Repeat 0 → 1) is exactly what
+// trace.Event.ExtentBytes/Repeats compute per reference in the general
+// loop; compiling hoists it out of the replay entirely.
+//
+// A compiled trace depends only on the (program, trace) pair — never on a
+// layout — so one compilation is shared across every layout that replays
+// the trace. That is the shape of the paper's evaluation: the Section 5.1
+// perturbation sweeps and the Figure 5/6 grids replay the same
+// multi-million-reference trace against hundreds of candidate layouts.
+//
+// A CompiledTrace is immutable after CompileTrace returns and is safe for
+// concurrent use by any number of simulators.
+type CompiledTrace struct {
+	prog *program.Program
+	src  *trace.Trace
+	n    int
+	// Flat per-event arrays: procs[i], exts[i] (effective extent in bytes,
+	// ≥ 1) and reps[i] (effective repeat count, ≥ 1) describe event i.
+	procs []program.ProcID
+	exts  []int32
+	reps  []int32
+}
+
+// CompileTrace precompiles tr for replay against layouts of prog. The
+// events must reference valid procedures of prog (trace.Trace.Validate);
+// out-of-range extents are clamped exactly as the general loop clamps
+// them.
+func CompileTrace(prog *program.Program, tr *trace.Trace) *CompiledTrace {
+	n := len(tr.Events)
+	ct := &CompiledTrace{
+		prog:  prog,
+		src:   tr,
+		n:     n,
+		procs: make([]program.ProcID, n),
+		exts:  make([]int32, n),
+		reps:  make([]int32, n),
+	}
+	for i, e := range tr.Events {
+		ct.procs[i] = e.Proc
+		ct.exts[i] = int32(e.ExtentBytes(prog))
+		ct.reps[i] = int32(e.Repeats())
+	}
+	return ct
+}
+
+// Program returns the program the trace was compiled against.
+func (ct *CompiledTrace) Program() *program.Program { return ct.prog }
+
+// Len returns the number of activations.
+func (ct *CompiledTrace) Len() int { return ct.n }
+
+// matches reports whether ct is the compilation of (prog, tr) in its
+// current length. Simulators use it to memoize compilation across repeated
+// RunTrace calls with the same trace; the length guard catches a trace
+// that grew via Append between calls (in-place mutation of existing events
+// is not detected — recompile explicitly after editing a trace).
+func (ct *CompiledTrace) matches(prog *program.Program, tr *trace.Trace) bool {
+	return ct != nil && ct.prog == prog && ct.src == tr && ct.n == len(tr.Events)
+}
+
+// checkProgram panics unless layout places the compiled program: replaying
+// a trace compiled for one program against another program's layout is a
+// programming error, not a runtime condition.
+func (ct *CompiledTrace) checkProgram(layout *program.Layout) {
+	if ct.prog != layout.Program() {
+		panic(fmt.Sprintf("cache: compiled trace for program %p replayed against layout of program %p",
+			ct.prog, layout.Program()))
+	}
+}
+
+// ReplayStats counts how the compiled replay engine processed a run:
+// how many activations took the O(span) collapsed path versus the general
+// O(repeats·span) loop, and how much work collapsing saved. The counters
+// are observability only — they never influence the simulated Stats — and
+// are deterministic for a given (trace, layout, geometry), so telemetry
+// built from them merges identically at any worker count.
+type ReplayStats struct {
+	// Events is the number of activations replayed.
+	Events int64
+	// FastEvents counts activations fully handled by a fast path: repeat
+	// collapsing in the cache engines, the MRU short-circuit in the TLB
+	// engine.
+	FastEvents int64
+	// FallbackEvents counts activations with work the fast path could not
+	// absorb (repeats replayed by the general loop because the activation
+	// span self-conflicts in the simulated geometry).
+	FallbackEvents int64
+	// CollapsedRepeats is the total number of repeat iterations accounted
+	// in O(1) instead of being replayed.
+	CollapsedRepeats int64
+	// CollapsedRefs is the number of line references those collapsed
+	// iterations contributed to Stats.Refs without touching cache state.
+	CollapsedRefs int64
+}
+
+// Add merges other into r.
+func (r *ReplayStats) Add(other ReplayStats) {
+	r.Events += other.Events
+	r.FastEvents += other.FastEvents
+	r.FallbackEvents += other.FallbackEvents
+	r.CollapsedRepeats += other.CollapsedRepeats
+	r.CollapsedRefs += other.CollapsedRefs
+}

@@ -79,7 +79,7 @@ func Ablations(opts Options) (*AblationsResult, error) {
 			if err := checkAligned(opts.Check, rows[bi].Name+"/ablation-gbsc", prog, l, b.pop, opts.Cache); err != nil {
 				return 0, err
 			}
-			return cache.MissRate(opts.Cache, l, b.test)
+			return cache.MissRateCompiled(opts.Cache, b.ctTest, l)
 		}
 
 		var err error
@@ -102,7 +102,7 @@ func Ablations(opts Options) (*AblationsResult, error) {
 			var phTRG *program.Layout
 			if phTRG, err = baseline.PHLayout(prog, b.trgRes.Select); err == nil {
 				if err = checkPacked(opts.Check, rows[bi].Name+"/ph+trg", prog, phTRG); err == nil {
-					rows[bi].PHWithTRG, err = cache.MissRate(opts.Cache, phTRG, b.test)
+					rows[bi].PHWithTRG, err = cache.MissRateCompiled(opts.Cache, b.ctTest, phTRG)
 				}
 			}
 		}

@@ -81,7 +81,7 @@ func Conflicts(opts Options) (*ConflictsResult, error) {
 			{&row.GBSC, gbscl},
 		}
 		for _, l := range layouts {
-			cs, err := cache.RunTraceClassified(opts.Cache, l.layout, b.test)
+			cs, _, err := cache.RunCompiledClassified(opts.Cache, b.ctTest, l.layout)
 			if err != nil {
 				return err
 			}

@@ -124,7 +124,13 @@ type bench struct {
 	pair  *tracegen.Pair
 	train *trace.Trace
 	test  *trace.Trace
-	pop   *popular.Set
+	// ctTrain and ctTest are the traces precompiled for replay (extent and
+	// repeat resolution hoisted out of the simulation loop). Every driver
+	// that replays a benchmark trace against candidate layouts goes through
+	// these shared compilations rather than iterating Events directly.
+	ctTrain *cache.CompiledTrace
+	ctTest  *cache.CompiledTrace
+	pop     *popular.Set
 	// wcgFull is the transition graph over all executed procedures (PH's
 	// input); wcgPop is restricted to popular procedures (HKC's input).
 	wcgFull *graph.Graph
@@ -144,6 +150,8 @@ func prepare(pair *tracegen.Pair, cfg cache.Config, sh *telemetry.Shard, check i
 	b := &bench{pair: pair}
 	b.train = tracegen.Generate(pair.Bench, pair.Train, sh)
 	b.test = tracegen.Generate(pair.Bench, pair.Test, sh)
+	b.ctTrain = cache.CompileTrace(pair.Bench.Prog, b.train)
+	b.ctTest = cache.CompileTrace(pair.Bench.Prog, b.test)
 	b.pop = popular.Select(pair.Bench.Prog, b.train, popular.Options{})
 	sh.Add("popular/procs", int64(b.pop.Len()))
 	b.wcgFull = wcg.Build(b.train)
@@ -174,6 +182,17 @@ func prepare(pair *tracegen.Pair, cfg cache.Config, sh *telemetry.Shard, check i
 	sh.AddHistogram("trg/q_procs", bs.QLenHist[:], bs.QLenSum, bs.QSteps)
 	sh.Observe("trg/q_max_procs", int64(bs.MaxQLen))
 	return b, nil
+}
+
+// addReplay records the compiled-replay engine counters for one run into
+// sh (nil-safe). The counters are deterministic per (trace, layout,
+// geometry), so shard merges agree at any worker count.
+func addReplay(sh *telemetry.Shard, rs cache.ReplayStats) {
+	sh.Add("cache/replay_events", rs.Events)
+	sh.Add("cache/replay_fast_events", rs.FastEvents)
+	sh.Add("cache/replay_fallback_events", rs.FallbackEvents)
+	sh.Add("cache/replay_collapsed_repeats", rs.CollapsedRepeats)
+	sh.Add("cache/replay_collapsed_refs", rs.CollapsedRefs)
 }
 
 func pct(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }

@@ -198,19 +198,17 @@ func runAlgorithm(alg AlgorithmName, b *bench, cfg cache.Config, rng *rand.Rand,
 		return 0, err
 	}
 	sh.Add("placements/"+string(alg), 1)
-	var st cache.Stats
-	if sim != nil && sim.Config() == cfg {
-		st = sim.RunTrace(layout, b.test)
-	} else {
-		st, err = cache.RunTrace(cfg, layout, b.test)
-		if err != nil {
+	if sim == nil || sim.Config() != cfg {
+		if sim, err = cache.NewSim(cfg); err != nil {
 			return 0, err
 		}
 	}
+	st := sim.RunCompiled(b.ctTest, layout)
 	sh.Add("cache/refs", st.Refs)
 	sh.Add("cache/misses", st.Misses)
 	sh.Add("cache/cold_misses", st.Cold)
 	sh.Add("cache/conflict_misses", st.Conflict())
+	addReplay(sh, sim.Replay())
 	return st.MissRate(), nil
 }
 

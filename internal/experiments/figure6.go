@@ -98,7 +98,7 @@ func Figure6(opts Options) (*Figure6Result, error) {
 				return err
 			}
 			res.Points[i] = Figure6Point{
-				MissRate:  sim.RunTrace(layout, b.train).MissRate(),
+				MissRate:  sim.RunCompiled(b.ctTrain, layout).MissRate(),
 				TRGMetric: metrics.TRGConflict(layout, b.trgRes.Place, b.trgRes.Chunker, opts.Cache),
 				WCGMetric: metrics.WCGConflict(layout, b.wcgFull, opts.Cache),
 			}

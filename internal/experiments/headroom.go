@@ -62,7 +62,7 @@ func Headroom(opts Options) (*HeadroomResult, error) {
 		}); err != nil {
 			return err
 		}
-		if row.GBSCMR, err = cache.MissRate(opts.Cache, gl, b.test); err != nil {
+		if row.GBSCMR, err = cache.MissRateCompiled(opts.Cache, b.ctTest, gl); err != nil {
 			return err
 		}
 		row.GBSCMetric = metrics.TRGConflict(gl, b.trgRes.Place, b.trgRes.Chunker, opts.Cache)
@@ -78,7 +78,7 @@ func Headroom(opts Options) (*HeadroomResult, error) {
 		if err := checkAligned(opts.Check, row.Name+"/headroom-anneal", prog, al, b.pop, opts.Cache); err != nil {
 			return err
 		}
-		if row.AnnealMR, err = cache.MissRate(opts.Cache, al, b.test); err != nil {
+		if row.AnnealMR, err = cache.MissRateCompiled(opts.Cache, b.ctTest, al); err != nil {
 			return err
 		}
 		row.AnnealMetric = metrics.TRGConflict(al, b.trgRes.Place, b.trgRes.Chunker, opts.Cache)

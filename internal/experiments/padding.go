@@ -45,7 +45,7 @@ func Padding(opts Options) (*PaddingResult, error) {
 	if err := checkAligned(opts.Check, pair.Bench.Name+"/padding-base", pair.Bench.Prog, layout, b.pop, opts.Cache); err != nil {
 		return nil, err
 	}
-	base, err := cache.MissRate(opts.Cache, layout, b.test)
+	base, err := cache.MissRateCompiled(opts.Cache, b.ctTest, layout)
 	if err != nil {
 		return nil, err
 	}
@@ -55,7 +55,7 @@ func Padding(opts Options) (*PaddingResult, error) {
 	if err := checkGeneral(opts.Check, pair.Bench.Name+"/padding-padded", pair.Bench.Prog, padded, b.pop, opts.Cache); err != nil {
 		return nil, err
 	}
-	pad, err := cache.MissRate(opts.Cache, padded, b.test)
+	pad, err := cache.MissRateCompiled(opts.Cache, b.ctTest, padded)
 	if err != nil {
 		return nil, err
 	}

@@ -62,21 +62,21 @@ func PageLocality(opts Options) (*PageLocalityResult, error) {
 		}
 
 		row := PageLocalityRow{Name: pair.Bench.Name}
-		if row.StdMR, err = cache.MissRate(opts.Cache, std, b.test); err != nil {
+		if row.StdMR, err = cache.MissRateCompiled(opts.Cache, b.ctTest, std); err != nil {
 			return err
 		}
-		if row.PageMR, err = cache.MissRate(opts.Cache, paged, b.test); err != nil {
+		if row.PageMR, err = cache.MissRateCompiled(opts.Cache, b.ctTest, paged); err != nil {
 			return err
 		}
 		row.StdPages = metrics.Pages(std, b.test, pageBytes)
 		row.PagePages = metrics.Pages(paged, b.test, pageBytes)
 
 		tlbCfg := cache.TLBConfig{Entries: 32, PageBytes: pageBytes}
-		stdTLB, err := cache.RunTraceTLB(tlbCfg, std, b.test)
+		stdTLB, _, err := cache.RunCompiledTLB(tlbCfg, b.ctTest, std)
 		if err != nil {
 			return err
 		}
-		pageTLB, err := cache.RunTraceTLB(tlbCfg, paged, b.test)
+		pageTLB, _, err := cache.RunCompiledTLB(tlbCfg, b.ctTest, paged)
 		if err != nil {
 			return err
 		}

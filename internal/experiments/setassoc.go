@@ -63,7 +63,7 @@ func SetAssoc(opts Options) (*SetAssocResult, error) {
 		if err := checkPacked(opts.Check, pair.Bench.Name+"/setassoc-default", prog, defLayout); err != nil {
 			return err
 		}
-		defMR, err := cache.MissRate(assocCfg, defLayout, b.test)
+		defMR, err := cache.MissRateCompiled(assocCfg, b.ctTest, defLayout)
 		if err != nil {
 			return err
 		}
@@ -75,7 +75,7 @@ func SetAssoc(opts Options) (*SetAssocResult, error) {
 		if err := checkAligned(opts.Check, pair.Bench.Name+"/setassoc-direct", prog, dmLayout, b.pop, opts.Cache); err != nil {
 			return err
 		}
-		dmMR, err := cache.MissRate(assocCfg, dmLayout, b.test)
+		dmMR, err := cache.MissRateCompiled(assocCfg, b.ctTest, dmLayout)
 		if err != nil {
 			return err
 		}
@@ -92,7 +92,7 @@ func SetAssoc(opts Options) (*SetAssocResult, error) {
 		}); err != nil {
 			return err
 		}
-		asMR, err := cache.MissRate(assocCfg, asLayout, b.test)
+		asMR, err := cache.MissRateCompiled(assocCfg, b.ctTest, asLayout)
 		if err != nil {
 			return err
 		}

@@ -54,7 +54,7 @@ func Splitting(opts Options) (*SplittingResult, error) {
 		if err := checkAligned(opts.Check, row.Name+"/splitting-plain", prog, plain, b.pop, opts.Cache); err != nil {
 			return err
 		}
-		if row.GBSC, err = cache.RunTraceClassified(opts.Cache, plain, b.test); err != nil {
+		if row.GBSC, _, err = cache.RunCompiledClassified(opts.Cache, b.ctTest, plain); err != nil {
 			return err
 		}
 

@@ -59,7 +59,7 @@ func CacheSweep(opts Options) (*SweepResult, error) {
 		if err := checkPacked(opts.Check, cell.Name+"/sweep-default", prog, def); err != nil {
 			return err
 		}
-		if cell.Default, err = cache.MissRate(cfg, def, b.test); err != nil {
+		if cell.Default, err = cache.MissRateCompiled(cfg, b.ctTest, def); err != nil {
 			return err
 		}
 		phl, err := baseline.PHLayout(prog, b.wcgFull)
@@ -69,7 +69,7 @@ func CacheSweep(opts Options) (*SweepResult, error) {
 		if err := checkPacked(opts.Check, cell.Name+"/sweep-ph", prog, phl); err != nil {
 			return err
 		}
-		if cell.PH, err = cache.MissRate(cfg, phl, b.test); err != nil {
+		if cell.PH, err = cache.MissRateCompiled(cfg, b.ctTest, phl); err != nil {
 			return err
 		}
 		// GBSC trained against the direct-mapped view of the geometry
@@ -91,7 +91,7 @@ func CacheSweep(opts Options) (*SweepResult, error) {
 		if err := checkAligned(opts.Check, cell.Name+"/sweep-gbsc", prog, gl, b.pop, dm); err != nil {
 			return err
 		}
-		if cell.GBSC, err = cache.MissRate(cfg, gl, b.test); err != nil {
+		if cell.GBSC, err = cache.MissRateCompiled(cfg, b.ctTest, gl); err != nil {
 			return err
 		}
 		cells[i] = cell

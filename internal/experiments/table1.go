@@ -55,7 +55,7 @@ func Table1(opts Options) (*Table1Result, error) {
 		if err := checkPacked(opts.Check, pair.Bench.Name+"/table1-default", prog, def); err != nil {
 			return err
 		}
-		mr, err := cache.MissRate(opts.Cache, def, b.test)
+		mr, err := cache.MissRateCompiled(opts.Cache, b.ctTest, def)
 		if err != nil {
 			return err
 		}

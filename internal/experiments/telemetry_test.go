@@ -77,6 +77,8 @@ func TestTelemetryCoverage(t *testing.T) {
 		"trg/events_observed", "trg/select_edges", "trg/place_edges",
 		"gbsc/merges", "gbsc/align_offsets",
 		"cache/refs", "cache/misses", "cache/cold_misses", "cache/conflict_misses",
+		"cache/replay_events", "cache/replay_fast_events",
+		"cache/replay_collapsed_repeats", "cache/replay_collapsed_refs",
 		"placements/GBSC", "placements/PH", "placements/HKC",
 	} {
 		if s.Counters[name] <= 0 {

@@ -32,6 +32,14 @@ type Event struct {
 }
 
 // Trace is an in-memory sequence of activations.
+//
+// Replay-heavy callers (anything evaluating one trace against many
+// layouts) should not iterate Events and resolve ExtentBytes/Repeats per
+// reference; cache.CompileTrace hoists that resolution into a flat
+// per-(program, trace) compilation shared across layouts, and the
+// cache.RunCompiled family replays it with repeat collapsing. The
+// compilation is invalidated by Append (length change) but cannot detect
+// in-place mutation of existing events — recompile after editing.
 type Trace struct {
 	Events []Event
 }

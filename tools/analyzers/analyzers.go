@@ -4,7 +4,7 @@
 // is deliberately not used. The framework mirrors its shape (an Analyzer
 // with a Run function over a typed Pass) at the scale this repo needs.
 //
-// Two analyzers ship with the repo:
+// Three analyzers ship with the repo:
 //
 //   - nodeterm forbids nondeterminism sources (wall clock, the global
 //     math/rand source, map-iteration-ordered output) inside the pipeline
@@ -12,6 +12,9 @@
 //     counts.
 //   - runerr enforces the cmd/* error-handling convention: main delegates
 //     to run() error, and no error-returning Close call is discarded.
+//   - tracereplay forbids direct Trace.Events iteration in the experiment
+//     drivers, which must replay through the shared precompiled trace and
+//     its repeat-collapsing fast path.
 //
 // A finding can be suppressed where it is a considered decision, not an
 // accident, with a trailing or preceding-line comment:
@@ -142,7 +145,7 @@ type Analyzer struct {
 }
 
 // All is the suite cmd/repolint runs.
-var All = []*Analyzer{NoDeterm, RunErr}
+var All = []*Analyzer{NoDeterm, RunErr, TraceReplay}
 
 // Applies reports whether any analyzer in as claims the package path.
 func Applies(as []*Analyzer, path string) bool {

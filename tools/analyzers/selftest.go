@@ -117,6 +117,61 @@ func Stamp() time.Time { return time.Now() }
 		forbid: []string{"nodeterm/time"},
 	},
 	{
+		name: "direct Events iteration in an experiment driver",
+		path: "repro/internal/experiments",
+		files: map[string]string{"fixture.go": `package experiments
+
+type Trace struct{ Events []int }
+
+func Refs(tr *Trace) int {
+	total := 0
+	for _, e := range tr.Events {
+		total += e
+	}
+	return total
+}
+
+func Len(tr *Trace) int {
+	n := 0
+	// repolint:allow tracereplay/events: counting events, not replaying
+	for range tr.Events {
+		n++
+	}
+	return n
+}
+
+type Stats struct{ Events int64 }
+
+func Sum(ss []Stats) int64 {
+	var total int64
+	for _, s := range ss {
+		total += s.Events
+	}
+	return total
+}
+`},
+		want: [][2]string{
+			{"tracereplay/events", "compiled replay"},
+		},
+	},
+	{
+		name: "Events iteration outside the experiments scope is legal",
+		path: "repro/internal/tracegen",
+		files: map[string]string{"fixture.go": `package tracegen
+
+type Trace struct{ Events []int }
+
+func Refs(tr *Trace) int {
+	total := 0
+	for _, e := range tr.Events {
+		total += e
+	}
+	return total
+}
+`},
+		forbid: []string{"tracereplay/events"},
+	},
+	{
 		name: "cmd main doing the work itself",
 		path: "repro/cmd/badcmd",
 		files: map[string]string{"main.go": `package main

@@ -1,0 +1,70 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// traceReplayScope lists the packages that must replay traces through the
+// shared precompiled form: the experiment drivers replay the same trace
+// against hundreds of layouts, so a hand-rolled loop over Trace.Events
+// both repeats the per-event extent/repeat resolution the compilation
+// hoists out and silently skips the repeat-collapsing fast path.
+var traceReplayScope = []string{
+	"repro/internal/experiments",
+}
+
+// TraceReplay flags direct iteration over a Trace's Events in the
+// experiment drivers. Replays belong on cache.CompileTrace and the
+// RunCompiled family (the bench struct carries the shared compilations);
+// trace construction or inspection that genuinely needs the raw events can
+// carry a "repolint:allow tracereplay/events" comment.
+var TraceReplay = &Analyzer{
+	Name: "tracereplay",
+	Doc:  "forbid direct Trace.Events iteration in experiment drivers; replay via the shared compiled trace",
+	Applies: func(path string) bool {
+		for _, s := range traceReplayScope {
+			if path == s || strings.HasPrefix(path, s+"/") {
+				return true
+			}
+		}
+		return false
+	},
+	Run: runTraceReplay,
+}
+
+func runTraceReplay(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			r, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			sel, ok := r.X.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Events" || !isTraceExpr(p.Info, sel.X) {
+				return true
+			}
+			p.Reportf(r.Pos(), "tracereplay/events",
+				"iterating Trace.Events bypasses the shared compiled replay; use cache.CompileTrace and the RunCompiled family (or suppress with an allow comment if the raw events are required)")
+			return true
+		})
+	}
+}
+
+// isTraceExpr reports whether expr's type is a named type called Trace
+// (possibly behind a pointer). The match is by type name rather than
+// import path so the selftest fixtures — restricted to stdlib imports —
+// can declare their own Trace.
+func isTraceExpr(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Trace"
+}
