@@ -50,9 +50,16 @@ bench:
 BENCHTIME ?= 1s
 GBSC_BENCHES = ^(BenchmarkHeaviestEdge|BenchmarkBestAlignment|BenchmarkBestAlignmentAssoc|BenchmarkMergeNodes|BenchmarkGBSCPlacement|BenchmarkRunTrace|BenchmarkRunTraceClassified|BenchmarkCompileTrace)$$
 
+# TRG ingest throughput (BENCH_trg.json): serial vs sharded build in
+# events/sec on the paper-scale vortex trace, plus the sequential
+# coordinator scan whose throughput bounds the sharded speedup (Amdahl).
+TRG_BENCHES = ^(BenchmarkTRGBuildSerial|BenchmarkTRGBuildSharded8|BenchmarkShardCoordinatorScan)$$
+
 bench-json:
 	$(GO) test -run '^$$' -bench '$(GBSC_BENCHES)' -benchmem \
 		-benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_gbsc.json
+	$(GO) test -run '^$$' -bench '$(TRG_BENCHES)' -benchmem \
+		-benchtime=$(BENCHTIME) . ./internal/trg/ | $(GO) run ./cmd/benchjson > BENCH_trg.json
 
 # Regenerate the full paper evaluation (EXPERIMENTS.md numbers).
 experiments:

@@ -29,6 +29,9 @@ type Benchmark struct {
 	BytesPerOp  int64   `json:"b_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	// Extra holds custom b.ReportMetric units (e.g. "events/sec" from the
+	// TRG ingest benchmarks) keyed by the unit string.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the full JSON document.
@@ -63,8 +66,9 @@ func run() error {
 //
 //	BenchmarkName[-P]  iterations  value unit  [value unit ...]
 //
-// with units ns/op, B/op, allocs/op and MB/s; header lines carry the
-// goos/goarch/pkg/cpu context.
+// with units ns/op, B/op, allocs/op and MB/s; custom b.ReportMetric units
+// are captured into the extra map; header lines carry the goos/goarch/
+// pkg/cpu context.
 func parse(r io.Reader) (*Report, error) {
 	rep := &Report{Benchmarks: []Benchmark{}}
 	sc := bufio.NewScanner(r)
@@ -111,6 +115,12 @@ func parse(r io.Reader) (*Report, error) {
 				b.AllocsPerOp = int64(val)
 			case "MB/s":
 				b.MBPerSec = val
+			default:
+				// Custom b.ReportMetric units pass through verbatim.
+				if b.Extra == nil {
+					b.Extra = map[string]float64{}
+				}
+				b.Extra[fields[i+1]] = val
 			}
 		}
 		rep.Benchmarks = append(rep.Benchmarks, b)

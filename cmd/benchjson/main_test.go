@@ -12,6 +12,7 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkHeaviestEdge     	       3	   3630278 ns/op	  466032 B/op	      81 allocs/op
 BenchmarkBestAlignment    	    6000	    196793 ns/op	       0 B/op	       0 allocs/op
 BenchmarkThroughput       	     100	      1234 ns/op	 512.50 MB/s
+BenchmarkTRGBuildSharded8 	       3	 193043968 ns/op	  777051 events/sec
 PASS
 ok  	repro	2.345s
 `
@@ -27,8 +28,8 @@ func TestParse(t *testing.T) {
 	if !strings.Contains(rep.CPU, "Xeon") {
 		t.Errorf("cpu = %q", rep.CPU)
 	}
-	if len(rep.Benchmarks) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rep.Benchmarks))
 	}
 	he := rep.Benchmarks[0]
 	if he.Name != "BenchmarkHeaviestEdge" || he.Iterations != 3 ||
@@ -41,6 +42,9 @@ func TestParse(t *testing.T) {
 	}
 	if tp := rep.Benchmarks[2]; tp.MBPerSec != 512.50 {
 		t.Errorf("MB/s parsed as %+v", tp)
+	}
+	if tr := rep.Benchmarks[3]; tr.Extra["events/sec"] != 777051 {
+		t.Errorf("events/sec parsed as %+v", tr)
 	}
 }
 

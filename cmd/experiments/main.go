@@ -7,6 +7,7 @@
 //	experiments -run table1,figure5 -scale 1.0 -runs 40
 //	experiments -run figure6 -csv fig6.csv
 //	experiments -run all -parallel 1   # serial; output identical to parallel
+//	experiments -run all -shards 8     # sharded TRG builds; output identical
 //	experiments -run all -stats report.json -cpuprofile cpu.pprof
 //
 // Available experiments: table1, figure5, figure6, padding, sameinput,
@@ -50,6 +51,7 @@ func run() error {
 	benches := flag.String("bench", "", "comma-separated benchmark filter (default all six)")
 	csvPath := flag.String("csv", "", "also write figure 6 points as CSV to this path")
 	parallel := flag.Int("parallel", 0, "experiment worker count (0 = one per CPU, 1 = serial); output is identical at every setting")
+	shards := flag.Int("shards", 0, "TRG build shards per benchmark (0 or 1 = serial builder); output is identical at every setting")
 	statsPath := flag.String("stats", "", "write a JSON run report to this path")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path")
@@ -71,7 +73,7 @@ func run() error {
 		}
 	}()
 
-	opts := experiments.Options{Scale: *scale, Runs: *runs, Seed: *seed, Parallel: *parallel, Check: checkMode}
+	opts := experiments.Options{Scale: *scale, Runs: *runs, Seed: *seed, Parallel: *parallel, Shards: *shards, Check: checkMode}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -88,6 +90,7 @@ func run() error {
 		rep.Params["seed"] = strconv.FormatInt(*seed, 10)
 		rep.Params["bench"] = *benches
 		rep.Params["parallel"] = strconv.Itoa(*parallel)
+		rep.Params["shards"] = strconv.Itoa(*shards)
 	}
 
 	want := map[string]bool{}

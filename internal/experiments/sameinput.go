@@ -35,7 +35,7 @@ func SameInput(opts Options) (*SameInputResult, error) {
 	// Train and test on the same input.
 	same := *pair
 	same.Test = same.Train
-	b, err := prepare(&same, opts.Cache, opts.Telemetry.Shard(), opts.Check)
+	b, err := prepare(&same, opts.Cache, opts.Telemetry.Shard(), opts.Check, opts.Shards)
 	if err != nil {
 		return nil, err
 	}

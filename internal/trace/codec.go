@@ -17,7 +17,10 @@ import (
 //	uvarint number of events
 //	per event: uvarint procID, uvarint extent, uvarint repeat
 //
-// Text format (one event per line, lines starting with '#' are comments):
+// Every per-event field must fit in a non-negative int32; the decoder
+// rejects anything larger with a positioned error instead of silently
+// wrapping. Text format (one event per line, lines starting with '#' are
+// comments):
 //
 //	<procName> [<extent> [<repeat>]]
 //
@@ -26,7 +29,10 @@ import (
 
 const binaryMagic = "RTR1"
 
-// WriteBinary serializes the trace in the binary format.
+// WriteBinary serializes the trace in the binary format. Negative fields
+// are rejected up front: their two's-complement bit patterns would encode
+// as huge uvarints the decoder refuses, so catching them here turns a
+// deferred round-trip failure into an immediate, positioned error.
 func (t *Trace) WriteBinary(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(binaryMagic); err != nil {
@@ -41,7 +47,10 @@ func (t *Trace) WriteBinary(w io.Writer) error {
 	if err := put(uint64(len(t.Events))); err != nil {
 		return err
 	}
-	for _, e := range t.Events {
+	for i, e := range t.Events {
+		if e.Proc < 0 || e.Extent < 0 || e.Repeat < 0 {
+			return fmt.Errorf("trace: event %d has negative field %+v", i, e)
+		}
 		if err := put(uint64(e.Proc)); err != nil {
 			return err
 		}
@@ -56,17 +65,13 @@ func (t *Trace) WriteBinary(w io.Writer) error {
 }
 
 // ReadBinary parses a trace in the binary format (counted or streamed; see
-// Reader for incremental consumption).
+// Reader for incremental consumption). NewReader bounds the declared event
+// count and ReadAll caps the allocation hint, so corrupt headers fail
+// cleanly instead of triggering giant allocations.
 func ReadBinary(r io.Reader) (*Trace, error) {
 	sr, err := NewReader(r)
 	if err != nil {
 		return nil, err
-	}
-	if !sr.streaming {
-		const maxEvents = 1 << 30
-		if sr.remaining > maxEvents {
-			return nil, fmt.Errorf("trace: event count %d too large", sr.remaining)
-		}
 	}
 	return sr.ReadAll()
 }
@@ -118,12 +123,18 @@ func ReadText(r io.Reader, prog *program.Program) (*Trace, error) {
 			if err != nil {
 				return nil, fmt.Errorf("trace: line %d: bad extent: %v", lineNo, err)
 			}
+			if v < 0 {
+				return nil, fmt.Errorf("trace: line %d: negative extent %d", lineNo, v)
+			}
 			e.Extent = int32(v)
 		}
 		if len(fields) > 2 {
 			v, err := strconv.ParseInt(fields[2], 10, 32)
 			if err != nil {
 				return nil, fmt.Errorf("trace: line %d: bad repeat: %v", lineNo, err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("trace: line %d: negative repeat %d", lineNo, v)
 			}
 			e.Repeat = int32(v)
 		}

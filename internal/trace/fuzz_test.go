@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"math"
 	"testing"
 
 	"repro/internal/program"
@@ -24,11 +25,25 @@ func FuzzReadBinary(f *testing.F) {
 	f.Add([]byte("RTR1"))
 	f.Add([]byte("garbage"))
 	f.Add([]byte{})
+	// Out-of-int32-range varints (the silent-truncation regression) and
+	// lying headers over tiny bodies.
+	f.Add(rawTrace(1, uint64(math.MaxInt32)+1, 0, 0))
+	f.Add(rawTrace(1, 7, uint64(math.MaxInt32)+1, 0))
+	f.Add(rawTrace(1, 7, 0, math.MaxUint64))
+	f.Add(rawTrace(maxDeclaredEvents, 1, 0, 0))
+	f.Add(rawTrace(streamSentinel, 3, 10, 2))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := ReadBinary(bytes.NewReader(data))
 		if err != nil {
 			return
+		}
+		// Whatever the decoder accepts must be in range: decoding must
+		// never narrow a varint into a negative int32.
+		for i, e := range got.Events {
+			if e.Proc < 0 || e.Extent < 0 || e.Repeat < 0 {
+				t.Fatalf("event %d decoded with negative field: %+v", i, e)
+			}
 		}
 		// Whatever parses must round trip.
 		var out bytes.Buffer

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"math/rand"
 	"testing"
@@ -112,6 +113,144 @@ func TestStreamTruncationMidEvent(t *testing.T) {
 	}
 	if _, err := r.Next(); err == nil || err == io.EOF {
 		t.Errorf("truncated mid-event: %v, want a real error", err)
+	}
+}
+
+// failAfter is an io.Writer that errors once limit bytes have been taken.
+type failAfter struct {
+	limit int
+	n     int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n+len(p) > f.limit {
+		take := f.limit - f.n
+		f.n = f.limit
+		return take, errors.New("disk full")
+	}
+	f.n += len(p)
+	return len(p), nil
+}
+
+func TestWriterCloseFlushes(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Event{Proc: 5, Extent: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 || tr.Events[0].Proc != 5 {
+		t.Errorf("read back %+v", tr.Events)
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestWriterCloseReportsStickyError(t *testing.T) {
+	// The sink accepts the header, then fails; the buffered events only
+	// hit it at Close, which must surface the failure — and keep doing so
+	// on repeat calls.
+	w, err := NewWriter(&failAfter{limit: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.Write(Event{Proc: 1, Extent: 500}); err != nil {
+			break
+		}
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close swallowed the write failure")
+	}
+	if err := w.Close(); err == nil {
+		t.Error("second Close lost the sticky error")
+	}
+}
+
+func TestWriterRejectsNegativeFields(t *testing.T) {
+	w, err := NewWriter(&bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Event{Proc: -1}); err == nil {
+		t.Error("Write accepted a negative proc")
+	}
+	// A rejected event is not sticky: valid events still stream.
+	if err := w.Write(Event{Proc: 1}); err != nil {
+		t.Errorf("valid event after rejected one: %v", err)
+	}
+	if w.Count() != 1 {
+		t.Errorf("Count = %d, want 1", w.Count())
+	}
+}
+
+func TestReadChunk(t *testing.T) {
+	for _, streamed := range []bool{false, true} {
+		var buf bytes.Buffer
+		events := make([]Event, 10)
+		for i := range events {
+			events[i] = Event{Proc: program.ProcID(i), Extent: int32(i * 3)}
+		}
+		if streamed {
+			w, err := NewWriter(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range events {
+				if err := w.Write(e); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := (&Trace{Events: events}).WriteBinary(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Event
+		chunk := make([]Event, 4)
+		var sizes []int
+		for {
+			n, err := r.ReadChunk(chunk)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			sizes = append(sizes, n)
+			got = append(got, chunk[:n]...)
+		}
+		if len(got) != len(events) {
+			t.Fatalf("streamed=%v: got %d events, want %d", streamed, len(got), len(events))
+		}
+		for i := range events {
+			if got[i] != events[i] {
+				t.Errorf("streamed=%v: event %d = %+v, want %+v", streamed, i, got[i], events[i])
+			}
+		}
+		if len(sizes) != 3 || sizes[0] != 4 || sizes[1] != 4 || sizes[2] != 2 {
+			t.Errorf("streamed=%v: chunk sizes %v, want [4 4 2]", streamed, sizes)
+		}
+		if r.Index() != 10 {
+			t.Errorf("streamed=%v: Index = %d, want 10", streamed, r.Index())
+		}
 	}
 }
 

@@ -1,0 +1,256 @@
+package trg
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/popular"
+	"repro/internal/program"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// requireSameResult asserts the sharded build output is byte-identical to
+// the serial oracle: same node sets, same edge lists and weights, same
+// average-Q figure, same construction statistics.
+func requireSameResult(t *testing.T, label string, serial, sharded *Result, serialStats, shardedStats BuildStats) {
+	t.Helper()
+	if !reflect.DeepEqual(serial.Select.Nodes(), sharded.Select.Nodes()) {
+		t.Fatalf("%s: TRG_select node sets differ", label)
+	}
+	if !reflect.DeepEqual(serial.Select.Edges(), sharded.Select.Edges()) {
+		t.Fatalf("%s: TRG_select edges differ:\nserial  %v\nsharded %v",
+			label, serial.Select.Edges(), sharded.Select.Edges())
+	}
+	if !reflect.DeepEqual(serial.Place.Nodes(), sharded.Place.Nodes()) {
+		t.Fatalf("%s: TRG_place node sets differ", label)
+	}
+	if !reflect.DeepEqual(serial.Place.Edges(), sharded.Place.Edges()) {
+		t.Fatalf("%s: TRG_place edges differ", label)
+	}
+	if serial.AvgQProcs != sharded.AvgQProcs {
+		t.Fatalf("%s: AvgQProcs %v vs %v", label, serial.AvgQProcs, sharded.AvgQProcs)
+	}
+	if serialStats != shardedStats {
+		t.Fatalf("%s: BuildStats differ:\nserial  %+v\nsharded %+v",
+			label, serialStats, shardedStats)
+	}
+}
+
+// randomWorkload builds a random program and trace: procedure sizes and
+// activation extents/repeats vary so both queues see non-uniform charging.
+func randomWorkload(rng *rand.Rand, procs, events int) (*program.Program, *trace.Trace) {
+	ps := make([]program.Procedure, procs)
+	for i := range ps {
+		ps[i] = program.Procedure{
+			Name: fmt.Sprintf("p%d", i),
+			Size: 1 + rng.Intn(1500),
+		}
+	}
+	prog := program.MustNew(ps)
+	tr := &trace.Trace{Events: make([]trace.Event, events)}
+	for i := range tr.Events {
+		p := program.ProcID(rng.Intn(procs))
+		e := trace.Event{Proc: p}
+		if rng.Intn(3) == 0 {
+			e.Extent = int32(1 + rng.Intn(prog.Size(p)))
+		}
+		if rng.Intn(4) == 0 {
+			e.Repeat = int32(rng.Intn(5))
+		}
+		tr.Events[i] = e
+	}
+	return prog, tr
+}
+
+// TestBuildShardedMatchesSerial is the differential oracle: randomized
+// programs × option shapes × the shard counts the scaling work targets,
+// every combination byte-identical to the serial Build. Runs under -race
+// via `make race`, which also exercises the worker pool for data races.
+func TestBuildShardedMatchesSerial(t *testing.T) {
+	shardCounts := []int{1, 2, 7, 16}
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		prog, tr := randomWorkload(rng, 5+rng.Intn(40), 200+rng.Intn(2000))
+		opts := Options{
+			// Small bounds force constant eviction; occasionally leave
+			// the default so the no-eviction regime is covered too.
+			CacheBytes: []int{256, 1024, 8192}[rng.Intn(3)],
+			QFactor:    1 + rng.Intn(2),
+			ChunkSize:  []int{64, 256}[rng.Intn(2)],
+		}
+		if rng.Intn(2) == 0 {
+			opts.Popular = popular.Select(prog, tr, popular.Options{})
+		}
+		serial, serialStats, err := BuildWithStats(prog, tr, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range shardCounts {
+			label := fmt.Sprintf("seed %d shards %d", seed, shards)
+			sharded, stats, err := BuildSharded(prog, tr, opts, ShardOptions{Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResult(t, label, serial, sharded, serialStats, stats)
+		}
+	}
+}
+
+// TestBuildShardedWorkerCountInvariant pins the merge discipline: the same
+// partition folded through 1, 2, or many workers yields identical output.
+func TestBuildShardedWorkerCountInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	prog, tr := randomWorkload(rng, 20, 1500)
+	opts := Options{CacheBytes: 512, ChunkSize: 64}
+	serial, serialStats, err := BuildWithStats(prog, tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		sharded, stats, err := BuildSharded(prog, tr, opts, ShardOptions{Shards: 8, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResult(t, fmt.Sprintf("workers %d", workers), serial, sharded, serialStats, stats)
+	}
+}
+
+// TestShardBoundaryStraddle hand-builds the case the overlap exists for: a
+// pair of references to the same procedure whose interleaving window
+// straddles the shard cut. Losing the overlap would drop the edge; replaying
+// it into the counted path would double it.
+func TestShardBoundaryStraddle(t *testing.T) {
+	prog := program.MustNew([]program.Procedure{
+		{Name: "A", Size: 64},
+		{Name: "B", Size: 64},
+		{Name: "C", Size: 64},
+	})
+	a, _ := prog.Lookup("A")
+	b, _ := prog.Lookup("B")
+	c, _ := prog.Lookup("C")
+	// Shards=2 cuts [A B C | A ...]: the second A sees B and C interleaved
+	// since its previous reference, all of it before the cut.
+	tr := &trace.Trace{Events: []trace.Event{
+		{Proc: a}, {Proc: b}, {Proc: c}, {Proc: a}, {Proc: b}, {Proc: c},
+	}}
+	opts := Options{CacheBytes: 256, QFactor: 2}
+	serial, serialStats, err := BuildWithStats(prog, tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	sh := reg.Shard()
+	sharded, stats, err := BuildSharded(prog, tr, opts, ShardOptions{Shards: 2, Telemetry: sh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "straddle", serial, sharded, serialStats, stats)
+	// The straddling interleavings must be counted exactly once.
+	if w := sharded.Select.Weight(BlockID(a), BlockID(b)); w != serial.Select.Weight(BlockID(a), BlockID(b)) || w == 0 {
+		t.Errorf("A-B edge weight %d; straddling interleaving lost or doubled", w)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["trg/shard_events"] != int64(tr.Len()) {
+		t.Errorf("ingest counter %d, want %d", snap.Counters["trg/shard_events"], tr.Len())
+	}
+	if snap.Counters["trg/shard_overlap_events"] == 0 {
+		t.Error("no boundary-overlap events recorded for a straddling cut")
+	}
+	if snap.Counters["trg/shard_count"] != 2 {
+		t.Errorf("shard count %d, want 2", snap.Counters["trg/shard_count"])
+	}
+	if snap.Counters["trg/shard_merges"] == 0 {
+		t.Error("no shard merges recorded")
+	}
+}
+
+// TestShardSeedFallback drives the snapshot-seed path: a tiny program
+// whose blocks never accumulate to the Q bound means Q retains a block
+// referenced only once at the very start, so later shard cuts need state
+// older than the retained window. The build must fall back to queue
+// snapshots and still match the serial oracle exactly.
+func TestShardSeedFallback(t *testing.T) {
+	prog := program.MustNew([]program.Procedure{
+		{Name: "once", Size: 8},
+		{Name: "x", Size: 8},
+		{Name: "y", Size: 8},
+	})
+	once, _ := prog.Lookup("once")
+	x, _ := prog.Lookup("x")
+	y, _ := prog.Lookup("y")
+	tr := &trace.Trace{}
+	tr.Append(trace.Event{Proc: once})
+	for i := 0; i < 400; i++ {
+		tr.Append(trace.Event{Proc: x})
+		tr.Append(trace.Event{Proc: y})
+	}
+	// Bound 2×8192 can never be reached by 24 bytes of program: "once"
+	// stays in Q forever with its last reference at event 0.
+	opts := Options{CacheBytes: 8192}
+	serial, serialStats, err := BuildWithStats(prog, tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	sh := reg.Shard()
+	sharded, stats, err := BuildSharded(prog, tr, opts, ShardOptions{Shards: 7, Telemetry: sh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "seed fallback", serial, sharded, serialStats, stats)
+	if snap := reg.Snapshot(); snap.Counters["trg/shard_seed_fallbacks"] == 0 {
+		t.Error("expected snapshot-seed fallbacks for an out-of-window overlap")
+	}
+}
+
+// TestBuildStreamMatchesSerial runs the bounded-memory streaming entry
+// point over the binary interchange format at several chunk sizes,
+// including chunks far smaller than the Q turnover so warm-up routinely
+// reaches into the previous chunk.
+func TestBuildStreamMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	prog, tr := randomWorkload(rng, 25, 3000)
+	opts := Options{CacheBytes: 512, ChunkSize: 64}
+	serial, serialStats, err := BuildWithStats(prog, tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, chunkEvents := range []int{37, 256, 5000} {
+		r, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed, stats, err := BuildStream(prog, r, opts, ShardOptions{ChunkEvents: chunkEvents})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResult(t, fmt.Sprintf("chunk %d", chunkEvents), serial, streamed, serialStats, stats)
+	}
+}
+
+// TestBuildStreamPropagatesDecodeErrors: a corrupt stream must fail the
+// build, not silently truncate the graphs.
+func TestBuildStreamPropagatesDecodeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	prog, tr := randomWorkload(rng, 10, 500)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	r, err := trace.NewReader(bytes.NewReader(raw[:len(raw)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := BuildStream(prog, r, Options{CacheBytes: 512}, ShardOptions{ChunkEvents: 64}); err == nil {
+		t.Fatal("truncated stream built without error")
+	}
+}
