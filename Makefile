@@ -55,11 +55,18 @@ GBSC_BENCHES = ^(BenchmarkHeaviestEdge|BenchmarkBestAlignment|BenchmarkBestAlign
 # coordinator scan whose throughput bounds the sharded speedup (Amdahl).
 TRG_BENCHES = ^(BenchmarkTRGBuildSerial|BenchmarkTRGBuildSharded8|BenchmarkShardCoordinatorScan)$$
 
+# Sampled evaluation (BENCH_sample.json): the exact-vs-sampled per-layout
+# replay pair on the scale-1.0 trace (the ≥10× speedup headline), plan
+# construction, and the sampled Figure 5 grid end to end.
+SAMPLE_BENCHES = ^(BenchmarkSampledFigure5|BenchmarkSamplePlan|BenchmarkExactMissRate|BenchmarkSampledMissRate)$$
+
 bench-json:
 	$(GO) test -run '^$$' -bench '$(GBSC_BENCHES)' -benchmem \
 		-benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_gbsc.json
 	$(GO) test -run '^$$' -bench '$(TRG_BENCHES)' -benchmem \
 		-benchtime=$(BENCHTIME) . ./internal/trg/ | $(GO) run ./cmd/benchjson > BENCH_trg.json
+	$(GO) test -run '^$$' -bench '$(SAMPLE_BENCHES)' -benchmem \
+		-benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_sample.json
 
 # Regenerate the full paper evaluation (EXPERIMENTS.md numbers).
 experiments:
@@ -70,4 +77,4 @@ experiments:
 # whenever an intentional change moves the numbers.
 golden-smoke:
 	$(GO) run ./cmd/experiments -run all -scale 0.05 -runs 3 -seed 1 \
-		-stats ci-run-report.json > ci_smoke_output.txt
+		-check fatal -stats ci-run-report.json > ci_smoke_output.txt

@@ -20,6 +20,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/popular"
+	"repro/internal/sample"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
 	"repro/internal/trg"
@@ -93,6 +94,78 @@ func BenchmarkAblations(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Ablations(benchOpts("m88ksim")); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Sampled evaluation (internal/sample) ---------------------------------
+
+// BenchmarkSampledFigure5 regenerates the Figure 5 grid through the
+// phase-aware sampled estimator instead of exact replay; compared against
+// BenchmarkFigure5 it is the sampled-speedup headline of BENCH_sample.json.
+func BenchmarkSampledFigure5(b *testing.B) {
+	opts := benchOpts("m88ksim")
+	opts.Sample = true
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSamplePlan times window-plan construction — the signature scan
+// plus k-means phase clustering — on the perl training trace. The plan is
+// built once per (benchmark, trace) and amortized across every layout.
+func BenchmarkSamplePlan(b *testing.B) {
+	pair := tracegen.Lookup(tracegen.Suite(0.3), "perl")
+	tr := pair.Bench.Trace(pair.Train)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sample.NewPlan(pair.Bench.Prog, tr, cache.PaperConfig.LineBytes, sample.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sampleEvalFixture prepares the paper-scale (-scale 1.0) perl test trace
+// for the per-layout evaluation benchmarks: the sampled-vs-exact speedup
+// acceptance is measured on this pair, replay against replay, with trace
+// compilation and window planning amortized outside both timed loops.
+func sampleEvalFixture(b *testing.B) (*cache.CompiledTrace, *sample.Evaluator, *Layout, *cache.Sim) {
+	b.Helper()
+	pair := tracegen.Lookup(tracegen.Suite(1.0), "perl")
+	tr := pair.Bench.Trace(pair.Test)
+	plan, err := sample.NewPlan(pair.Bench.Prog, tr, cache.PaperConfig.LineBytes, sample.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct := cache.CompileTrace(pair.Bench.Prog, tr)
+	return ct, sample.NewEvaluator(ct, plan), DefaultLayout(pair.Bench.Prog), cache.MustNewSim(cache.PaperConfig)
+}
+
+// BenchmarkExactMissRate times one exact compiled replay of the scale-1.0
+// trace against a fixed layout — the per-layout cost the sampled estimator
+// competes with (acceptance: sampled ≥ 10× faster than this).
+func BenchmarkExactMissRate(b *testing.B) {
+	ct, _, layout, sim := sampleEvalFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := sim.RunCompiled(ct, layout)
+		if st.Refs == 0 {
+			b.Fatal("empty replay")
+		}
+	}
+}
+
+// BenchmarkSampledMissRate times one sampled estimate on the same fixture —
+// the per-layout unit of work the sampled Figure 5 grid repeats per run.
+func BenchmarkSampledMissRate(b *testing.B) {
+	_, ev, layout, sim := sampleEvalFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est := ev.MissRate(sim, layout)
+		if est.RefsReplayed == 0 {
+			b.Fatal("empty sampled replay")
 		}
 	}
 }

@@ -10,6 +10,15 @@
 //	benchdiff BENCH_main.json BENCH_pr.json
 //	benchdiff -timing-tol 0.25 BENCH_main.json BENCH_pr.json
 //
+// -within-ci compares a sampled run against an exact one: each miss-rate
+// cell may differ by the confidence half-width recorded under its
+// "<alg>/ci" key (cells without one fall back to -miss-tol), and the
+// counter/histogram/timer sections are skipped — sampling legitimately
+// replays different amounts of work. This is the CI gate asserting every
+// sampled estimate honors its own error bound:
+//
+//	benchdiff -within-ci run-report.json run-report-sampled.json
+//
 // Exit status: 0 no drift, 1 drift, 2 usage or I/O error.
 package main
 
@@ -43,6 +52,7 @@ func run() error {
 	missTol := flag.Float64("miss-tol", 0, "absolute miss-rate drift tolerated per benchmark/algorithm cell (0 = exact)")
 	counterTol := flag.Float64("counter-tol", 0, "relative counter/histogram drift tolerated (0 = exact)")
 	timingTol := flag.Float64("timing-tol", 0, "fractional timing regression tolerated; 0 disables timing comparison (timings are machine-dependent)")
+	withinCI := flag.Bool("within-ci", false, "tolerate each miss-rate cell's recorded <alg>/ci confidence half-width and skip counters/histograms/timers (sampled-vs-exact gate)")
 	verbose := flag.Bool("v", false, "also print informational notes, not just drift")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [flags] old.json new.json\n")
@@ -67,6 +77,7 @@ func run() error {
 		MissRateTol: *missTol,
 		CounterTol:  *counterTol,
 		TimingTol:   *timingTol,
+		WithinCI:    *withinCI,
 	})
 	// Every drift finding is printed before the verdict: one run names all
 	// drifting keys and aspects, rather than surfacing them one at a time.

@@ -12,6 +12,12 @@
 // same trace: the trace is compiled once and a single simulator is reused
 // across runs (reset between layouts), so comparing candidate layouts costs
 // one trace load and one compilation no matter how many layouts are given.
+//
+// -sample replaces the exact replay with the phase-aware sampled estimator
+// (internal/sample): one window plan is built from the trace and each
+// layout is scored by replaying only the representative windows, printing
+// the estimate with its confidence interval. With -stats the estimate is
+// recorded under the usual label plus a "<label>/ci" half-width key.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/invariant"
 	"repro/internal/program"
+	"repro/internal/sample"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/report"
 	"repro/internal/trace"
@@ -53,6 +60,9 @@ func run() error {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path")
 	checkFlag := flag.String("check", "fatal", "layout invariant checking: fatal, warn, or off")
+	sampleFlag := flag.Bool("sample", false, "estimate miss rates from sampled trace windows instead of exact replay (incompatible with -classify)")
+	sampleWindows := flag.Int("sample-windows", 0, "sampled windows per trace (0 = default 12)")
+	sampleInterval := flag.Int("sample-interval", 0, "sampled window length in events (0 = derive from trace length)")
 	flag.Parse()
 
 	checkMode, err := invariant.ParseMode(*checkFlag)
@@ -61,6 +71,9 @@ func run() error {
 	}
 	if *progPath == "" || *tracePath == "" {
 		return fmt.Errorf("-prog and -trace are required")
+	}
+	if *sampleFlag && *classify {
+		return fmt.Errorf("-sample cannot classify misses; drop one of the flags")
 	}
 
 	stopProf, err := telemetry.StartProfiles(*cpuProfile, *memProfile)
@@ -154,6 +167,7 @@ func run() error {
 		rep.Params["cache"] = strconv.Itoa(*cacheBytes)
 		rep.Params["line"] = strconv.Itoa(*lineBytes)
 		rep.Params["assoc"] = strconv.Itoa(*assoc)
+		rep.Params["sample"] = strconv.FormatBool(*sampleFlag)
 		defer func() {
 			rep.AddSnapshot(reg.Snapshot())
 			rep.CaptureAlloc()
@@ -219,6 +233,38 @@ func run() error {
 	sim, err := cache.NewSim(cfg)
 	if err != nil {
 		return err
+	}
+	if *sampleFlag {
+		plan, err := sample.NewPlan(prog, tr, cfg.LineBytes, sample.Options{
+			Windows:  *sampleWindows,
+			Interval: *sampleInterval,
+		})
+		if err != nil {
+			return err
+		}
+		ev := sample.NewEvaluator(ct, plan)
+		fmt.Printf("sampling: %d of %d windows (interval %d events, warm-up %d), replaying %.1f%% of events\n",
+			len(plan.Windows), plan.Partitions, plan.Interval, plan.Warmup, 100*plan.ReplayFraction())
+		for i, layout := range layouts {
+			if multi {
+				fmt.Printf("\n== %s ==\n", names[i])
+			}
+			start := time.Now()
+			est := ev.MissRate(sim, layout)
+			sh.AddDuration("cachesim/sim_wall", time.Since(start))
+			lo, hi := est.Interval()
+			fmt.Printf("refs sampled: %d (events replayed %d)\n", est.RefsReplayed, est.EventsReplayed)
+			fmt.Printf("miss rate:    %.4f%% ±%.4f%% [%.4f%%, %.4f%%]\n",
+				100*est.MissRate, 100*est.CIHalf, 100*lo, 100*hi)
+			sh.Add("sample/windows", int64(est.Windows))
+			sh.Add("sample/events_replayed", est.EventsReplayed)
+			sh.Add("sample/refs_replayed", est.RefsReplayed)
+			if rep != nil {
+				rep.AddMissRate(bench, label(i), est.MissRate)
+				rep.AddMissRate(bench, label(i)+"/ci", est.CIHalf)
+			}
+		}
+		return nil
 	}
 	for i, layout := range layouts {
 		if multi {

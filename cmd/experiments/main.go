@@ -11,7 +11,15 @@
 //	experiments -run all -stats report.json -cpuprofile cpu.pprof
 //
 // Available experiments: table1, figure5, figure6, padding, sameinput,
-// setassoc, ablations, all.
+// setassoc, ablations, sampling, all.
+//
+// -sample switches the Figure 5 grid from exact compiled replay to the
+// phase-aware sampled estimator (internal/sample); every reported miss
+// rate becomes an estimate whose confidence half-width lands in the run
+// report under the "<alg>/ci" key, and cmd/benchdiff -within-ci gates a
+// sampled report against an exact one cell by cell. The sampling
+// experiment itself always measures both paths and is unaffected by the
+// flag.
 //
 // With -stats, the run emits a versioned JSON run report (see
 // internal/telemetry/report) holding per-benchmark miss rates, pipeline
@@ -56,6 +64,9 @@ func run() error {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path")
 	checkFlag := flag.String("check", "fatal", "layout/TRG invariant checking: fatal, warn, or off")
+	sampleFlag := flag.Bool("sample", false, "score figure 5 layouts with the phase-aware sampled estimator instead of exact replay; estimates carry <alg>/ci half-widths in the run report")
+	sampleWindows := flag.Int("sample-windows", 0, "sampled windows per trace (0 = default 12)")
+	sampleInterval := flag.Int("sample-interval", 0, "sampled window length in events (0 = derive from trace length)")
 	flag.Parse()
 
 	checkMode, err := invariant.ParseMode(*checkFlag)
@@ -73,7 +84,10 @@ func run() error {
 		}
 	}()
 
-	opts := experiments.Options{Scale: *scale, Runs: *runs, Seed: *seed, Parallel: *parallel, Shards: *shards, Check: checkMode}
+	opts := experiments.Options{
+		Scale: *scale, Runs: *runs, Seed: *seed, Parallel: *parallel, Shards: *shards, Check: checkMode,
+		Sample: *sampleFlag, SampleWindows: *sampleWindows, SampleInterval: *sampleInterval,
+	}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -91,6 +105,7 @@ func run() error {
 		rep.Params["bench"] = *benches
 		rep.Params["parallel"] = strconv.Itoa(*parallel)
 		rep.Params["shards"] = strconv.Itoa(*shards)
+		rep.Params["sample"] = strconv.FormatBool(*sampleFlag)
 	}
 
 	want := map[string]bool{}
@@ -167,6 +182,7 @@ func run() error {
 		{"optimality", func() (any, error) { return render(experiments.Optimality(opts)) }},
 		{"blockreorder", func() (any, error) { return render(experiments.BlockReorder(opts)) }},
 		{"headroom", func() (any, error) { return render(experiments.Headroom(opts)) }},
+		{"sampling", func() (any, error) { return render(experiments.Sampling(opts)) }},
 	}
 
 	ran := 0

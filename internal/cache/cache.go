@@ -375,8 +375,27 @@ func (s *Sim) runTraceOracle(layout *program.Layout, tr *trace.Trace) Stats {
 //
 // The layout must place the program the trace was compiled against.
 func (s *Sim) RunCompiled(ct *CompiledTrace, layout *program.Layout) Stats {
-	ct.checkProgram(layout)
 	s.Reset()
+	s.ReplayCompiled(ct, layout)
+	return s.stats
+}
+
+// ReplayCompiled replays the compiled trace placed by layout WITHOUT
+// resetting the simulator first, and returns only the statistics delta this
+// replay contributed. Cache contents, the compulsory-miss epoch, and the
+// accumulated totals all carry over from whatever ran before, so a sequence
+// of ReplayCompiled calls over consecutive windows of one trace is
+// byte-identical to a single RunCompiled over the whole trace.
+//
+// This is the windowed entry point of the sampled evaluation path: a
+// warm-up window is replayed first (its delta discarded) to approximate the
+// cache state the measurement window would have seen mid-trace, then the
+// measurement window's delta is taken as the window's statistics. Misses on
+// lines already touched during warm-up count as conflict, not cold, exactly
+// as they would mid-run.
+func (s *Sim) ReplayCompiled(ct *CompiledTrace, layout *program.Layout) Stats {
+	ct.checkProgram(layout)
+	before := s.stats
 	s.ensureSeen(layout)
 	lb := s.lineBytes
 	for i, p := range ct.procs {
@@ -427,7 +446,11 @@ func (s *Sim) RunCompiled(ct *CompiledTrace, layout *program.Layout) Stats {
 			s.replay.CollapsedRefs += (r - 1) * span
 		}
 	}
-	return s.stats
+	return Stats{
+		Refs:   s.stats.Refs - before.Refs,
+		Misses: s.stats.Misses - before.Misses,
+		Cold:   s.stats.Cold - before.Cold,
+	}
 }
 
 // RunTrace replays tr (placed by layout) through a fresh simulation and

@@ -61,6 +61,25 @@ func (ct *CompiledTrace) Program() *program.Program { return ct.prog }
 // Len returns the number of activations.
 func (ct *CompiledTrace) Len() int { return ct.n }
 
+// Slice returns a view of activations [lo, hi) sharing the compilation's
+// flat arrays — no per-event work is repeated. This is the unit of the
+// sampled evaluation path (internal/sample): one full-trace compilation is
+// sliced into warm-up and measurement windows that replay independently.
+// The slice does not memoize as a whole-trace compilation (Sim.RunTrace
+// will recompile rather than mistake a window for its source trace).
+func (ct *CompiledTrace) Slice(lo, hi int) *CompiledTrace {
+	if lo < 0 || hi > ct.n || lo > hi {
+		panic(fmt.Sprintf("cache: compiled trace slice [%d:%d) out of range [0:%d)", lo, hi, ct.n))
+	}
+	return &CompiledTrace{
+		prog:  ct.prog,
+		n:     hi - lo,
+		procs: ct.procs[lo:hi],
+		exts:  ct.exts[lo:hi],
+		reps:  ct.reps[lo:hi],
+	}
+}
+
 // matches reports whether ct is the compilation of (prog, tr) in its
 // current length. Simulators use it to memoize compilation across repeated
 // RunTrace calls with the same trace; the length guard catches a trace

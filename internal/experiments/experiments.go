@@ -14,6 +14,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/invariant"
 	"repro/internal/popular"
+	"repro/internal/sample"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
@@ -60,6 +61,20 @@ type Options struct {
 	// than contributing a bogus miss rate. ModeWarn logs to stderr and
 	// continues; ModeOff disables the checks.
 	Check invariant.Mode
+	// Sample switches the replay-bound grids (Figure 5) from exact
+	// compiled replay of the testing trace to the phase-aware sampled
+	// estimator of internal/sample: each layout is scored by replaying
+	// only the plan's representative windows, and every reported miss
+	// rate becomes an estimate carrying a confidence half-width (recorded
+	// under the "<alg>/ci" report key). The exact simulators remain the
+	// source of truth — CI compares a sampled run against the exact run
+	// and fails if any estimate strays outside its own interval.
+	Sample bool
+	// SampleWindows and SampleInterval override the sampler's window
+	// count and window length in events; 0 keeps the sample package
+	// defaults (12 windows, trace/256-event intervals).
+	SampleWindows  int
+	SampleInterval int
 }
 
 func (o *Options) setDefaults() {
@@ -74,6 +89,19 @@ func (o *Options) setDefaults() {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+}
+
+// sampleOptions resolves the sampling configuration, or nil when the run
+// is exact.
+func (o *Options) sampleOptions() *sample.Options {
+	if !o.Sample {
+		return nil
+	}
+	return &sample.Options{
+		Windows:  o.SampleWindows,
+		Interval: o.SampleInterval,
+		Seed:     o.Seed,
 	}
 }
 
@@ -112,7 +140,7 @@ func (o *Options) prepareSuite(cfg cache.Config, par int) (pairs []*tracegen.Pai
 	err = runParallel(par, len(pairs),
 		func() *telemetry.Shard { return o.Telemetry.Shard() },
 		func(sh *telemetry.Shard, i int) error {
-			b, err := prepare(pairs[i], cfg, sh, o.Check, o.Shards)
+			b, err := prepare(pairs[i], cfg, sh, o.Check, o.Shards, o.sampleOptions())
 			if err != nil {
 				return err
 			}
@@ -143,6 +171,11 @@ type bench struct {
 	wcgPop  *graph.Graph
 	// trgRes holds TRG_select and TRG_place built from the training trace.
 	trgRes *trg.Result
+	// evalTest, when sampling is enabled, holds the testing trace's
+	// representative windows precompiled for replay. Like the compiled
+	// traces it is layout-independent, so one evaluator serves every
+	// candidate layout of the benchmark.
+	evalTest *sample.Evaluator
 }
 
 // prepare generates traces and builds graphs for one benchmark, recording
@@ -150,7 +183,7 @@ type bench struct {
 // histogram is a deterministic function of the benchmark, so shard merges
 // agree at any worker count. The freshly built TRGs are verified under
 // check before any placement consumes them.
-func prepare(pair *tracegen.Pair, cfg cache.Config, sh *telemetry.Shard, check invariant.Mode, shards int) (*bench, error) {
+func prepare(pair *tracegen.Pair, cfg cache.Config, sh *telemetry.Shard, check invariant.Mode, shards int, smp *sample.Options) (*bench, error) {
 	stopPrep := sh.Time("prepare/wall")
 	defer stopPrep()
 	b := &bench{pair: pair}
@@ -201,6 +234,15 @@ func prepare(pair *tracegen.Pair, cfg cache.Config, sh *telemetry.Shard, check i
 	sh.Add("trg/place_edges", int64(res.Place.NumEdges()))
 	sh.AddHistogram("trg/q_procs", bs.QLenHist[:], bs.QLenSum, bs.QSteps)
 	sh.Observe("trg/q_max_procs", int64(bs.MaxQLen))
+	if smp != nil {
+		plan, err := sample.NewPlan(pair.Bench.Prog, b.test, cfg.LineBytes, *smp)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sampling plan for %s: %w", pair.Bench.Name, err)
+		}
+		b.evalTest = sample.NewEvaluator(b.ctTest, plan)
+		sh.Add("sample/windows", int64(len(plan.Windows)))
+		sh.Add("sample/planned_events", plan.EventsReplayed())
+	}
 	return b, nil
 }
 

@@ -39,12 +39,17 @@ type Figure5Bench struct {
 	// Unperturbed[alg] is the miss rate of the placement computed from the
 	// unmodified profile.
 	Unperturbed map[AlgorithmName]float64
+	// CIHalf[alg] is the confidence half-width of the unperturbed miss
+	// rate on sampled runs (Options.Sample); nil on exact runs, where the
+	// rates carry no estimation error.
+	CIHalf map[AlgorithmName]float64
 }
 
 // Figure5Result aggregates all panels.
 type Figure5Result struct {
 	Runs    int
 	Scale   float64
+	Sampled bool
 	Benches []Figure5Bench
 }
 
@@ -75,9 +80,11 @@ func Figure5(opts Options) (*Figure5Result, error) {
 	perAlg := opts.Runs + 1
 	perBench := len(figure5Algs) * perAlg
 	unperturbed := make([][]float64, len(pairs))
+	ciHalf := make([][]float64, len(pairs))
 	rates := make([][][]float64, len(pairs))
 	for bi := range pairs {
 		unperturbed[bi] = make([]float64, len(figure5Algs))
+		ciHalf[bi] = make([]float64, len(figure5Algs))
 		rates[bi] = make([][]float64, len(figure5Algs))
 		for ai := range figure5Algs {
 			rates[bi][ai] = make([]float64, opts.Runs)
@@ -97,7 +104,7 @@ func Figure5(opts Options) (*Figure5Result, error) {
 				rng = rand.New(rand.NewSource(opts.Seed + int64(run)*7919))
 			}
 			stop := st.sh.Time("figure5/cell_wall")
-			mr, err := runAlgorithm(alg, benches[bi], opts.Cache, rng, st.sim, st.sh, opts.Check)
+			mr, ci, err := runAlgorithm(alg, benches[bi], opts.Cache, rng, st.sim, st.sh, opts.Check)
 			stop()
 			if err != nil {
 				if run < 0 {
@@ -107,6 +114,7 @@ func Figure5(opts Options) (*Figure5Result, error) {
 			}
 			if run < 0 {
 				unperturbed[bi][ai] = mr
+				ciHalf[bi][ai] = ci
 			} else {
 				rates[bi][ai][run] = mr
 			}
@@ -116,15 +124,21 @@ func Figure5(opts Options) (*Figure5Result, error) {
 		return nil, err
 	}
 
-	out := &Figure5Result{Runs: opts.Runs, Scale: opts.Scale}
+	out := &Figure5Result{Runs: opts.Runs, Scale: opts.Scale, Sampled: opts.Sample}
 	for bi, pair := range pairs {
 		fb := Figure5Bench{
 			Name:        pair.Bench.Name,
 			Sorted:      map[AlgorithmName][]float64{},
 			Unperturbed: map[AlgorithmName]float64{},
 		}
+		if opts.Sample {
+			fb.CIHalf = map[AlgorithmName]float64{}
+		}
 		for ai, alg := range figure5Algs {
 			fb.Unperturbed[alg] = unperturbed[bi][ai]
+			if opts.Sample {
+				fb.CIHalf[alg] = ciHalf[bi][ai]
+			}
 			sort.Float64s(rates[bi][ai])
 			fb.Sorted[alg] = rates[bi][ai]
 		}
@@ -140,14 +154,11 @@ type figure5State struct {
 	sh  *telemetry.Shard
 }
 
-// runAlgorithm computes a placement with optionally perturbed profile data
-// (rng nil = unperturbed) and returns its miss rate on the testing trace.
-// A non-nil sim with a matching configuration is reused (via Reset) instead
-// of allocating a fresh simulator; workers pass their own simulator so no
-// state is shared across goroutines. Counters recorded into sh are per-job
-// work, never per-worker, so shard merges agree at any parallelism. Every
-// layout is verified under check before it is simulated.
-func runAlgorithm(alg AlgorithmName, b *bench, cfg cache.Config, rng *rand.Rand, sim *cache.Sim, sh *telemetry.Shard, check invariant.Mode) (float64, error) {
+// buildLayout computes a placement with optionally perturbed profile data
+// (rng nil = unperturbed) and verifies it under check before returning.
+// Counters recorded into sh are per-job work, never per-worker, so shard
+// merges agree at any parallelism.
+func buildLayout(alg AlgorithmName, b *bench, cfg cache.Config, rng *rand.Rand, sh *telemetry.Shard, check invariant.Mode) (*program.Layout, error) {
 	maybePerturb := func(g *graph.Graph) *graph.Graph {
 		if rng == nil {
 			return g
@@ -179,10 +190,10 @@ func runAlgorithm(alg AlgorithmName, b *bench, cfg cache.Config, rng *rand.Rand,
 			sh.Add("gbsc/cross_edges", m.CrossEdges)
 		}
 	default:
-		return 0, fmt.Errorf("unknown algorithm %q", alg)
+		return nil, fmt.Errorf("unknown algorithm %q", alg)
 	}
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	context := b.pair.Bench.Name + "/" + string(alg)
 	switch alg {
@@ -195,13 +206,38 @@ func runAlgorithm(alg AlgorithmName, b *bench, cfg cache.Config, rng *rand.Rand,
 		err = checkGeneral(check, context, prog, layout, b.pop, cfg)
 	}
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	sh.Add("placements/"+string(alg), 1)
+	return layout, nil
+}
+
+// runAlgorithm computes a placement via buildLayout and returns its miss
+// rate on the testing trace: an exact compiled replay normally, or the
+// sampled estimate (with its confidence half-width) when the benchmark was
+// prepared with sampling. ciHalf is 0 on the exact path. A non-nil sim
+// with a matching configuration is reused (via Reset) instead of
+// allocating a fresh simulator; workers pass their own simulator so no
+// state is shared across goroutines.
+func runAlgorithm(alg AlgorithmName, b *bench, cfg cache.Config, rng *rand.Rand, sim *cache.Sim, sh *telemetry.Shard, check invariant.Mode) (mr, ciHalf float64, err error) {
+	layout, err := buildLayout(alg, b, cfg, rng, sh, check)
+	if err != nil {
+		return 0, 0, err
+	}
 	if sim == nil || sim.Config() != cfg {
 		if sim, err = cache.NewSim(cfg); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
+	}
+	if b.evalTest != nil {
+		// Sampled scoring. The evaluator resets the simulator per window, so
+		// the cumulative replay-engine counters recorded on the exact path
+		// are meaningless here; the sample/* counters (still deterministic
+		// per cell) take their place.
+		est := b.evalTest.MissRate(sim, layout)
+		sh.Add("sample/events_replayed", est.EventsReplayed)
+		sh.Add("sample/refs_replayed", est.RefsReplayed)
+		return est.MissRate, est.CIHalf, nil
 	}
 	st := sim.RunCompiled(b.ctTest, layout)
 	sh.Add("cache/refs", st.Refs)
@@ -209,14 +245,18 @@ func runAlgorithm(alg AlgorithmName, b *bench, cfg cache.Config, rng *rand.Rand,
 	sh.Add("cache/cold_misses", st.Cold)
 	sh.Add("cache/conflict_misses", st.Conflict())
 	addReplay(sh, sim.Replay())
-	return st.MissRate(), nil
+	return st.MissRate(), 0, nil
 }
 
 // Render prints, per benchmark, the unperturbed MR table and distribution
 // quantiles for each algorithm.
 func (r *Figure5Result) Render(w io.Writer) error {
 	for _, fb := range r.Benches {
-		fmt.Fprintf(w, "== %s (%d perturbed runs, s=%.2f) ==\n", fb.Name, r.Runs, perturb.DefaultScale)
+		mode := ""
+		if r.Sampled {
+			mode = ", sampled"
+		}
+		fmt.Fprintf(w, "== %s (%d perturbed runs, s=%.2f%s) ==\n", fb.Name, r.Runs, perturb.DefaultScale, mode)
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(tw, "alg\tMR (no random)\tmin\tp25\tmedian\tp75\tmax")
 		for _, alg := range []AlgorithmName{AlgPH, AlgHKC, AlgGBSC} {
@@ -225,8 +265,12 @@ func (r *Figure5Result) Render(w io.Writer) error {
 				idx := int(f * float64(len(s)-1))
 				return s[idx]
 			}
+			mr := pct(fb.Unperturbed[alg])
+			if fb.CIHalf != nil {
+				mr += "±" + pct(fb.CIHalf[alg])
+			}
 			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
-				alg, pct(fb.Unperturbed[alg]),
+				alg, mr,
 				pct(s[0]), pct(q(0.25)), pct(q(0.5)), pct(q(0.75)), pct(s[len(s)-1]))
 		}
 		if err := tw.Flush(); err != nil {

@@ -34,7 +34,7 @@ func Padding(opts Options) (*PaddingResult, error) {
 	if pair == nil {
 		return nil, fmt.Errorf("experiments: benchmark missing from suite")
 	}
-	b, err := prepare(pair, opts.Cache, opts.Telemetry.Shard(), opts.Check, opts.Shards)
+	b, err := prepare(pair, opts.Cache, opts.Telemetry.Shard(), opts.Check, opts.Shards, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -35,7 +35,9 @@ func SameInput(opts Options) (*SameInputResult, error) {
 	// Train and test on the same input.
 	same := *pair
 	same.Test = same.Train
-	b, err := prepare(&same, opts.Cache, opts.Telemetry.Shard(), opts.Check, opts.Shards)
+	// Always exact: this aside reproduces three paper numbers, so it never
+	// routes through the sampled estimator.
+	b, err := prepare(&same, opts.Cache, opts.Telemetry.Shard(), opts.Check, opts.Shards, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -45,7 +47,7 @@ func SameInput(opts Options) (*SameInputResult, error) {
 		MissRates: map[AlgorithmName]float64{},
 	}
 	for _, alg := range []AlgorithmName{AlgPH, AlgHKC, AlgGBSC} {
-		mr, err := runAlgorithm(alg, b, opts.Cache, nil, nil, opts.Telemetry.Shard(), opts.Check)
+		mr, _, err := runAlgorithm(alg, b, opts.Cache, nil, nil, opts.Telemetry.Shard(), opts.Check)
 		if err != nil {
 			return nil, err
 		}

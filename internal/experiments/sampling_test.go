@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSampling runs the error-vs-speedup driver at test scale and checks
+// the aggregate acceptance shape: every cell estimated, bounded error,
+// intervals that cover, and a real replay saving.
+func TestSampling(t *testing.T) {
+	// Scale 0.2 rather than the usual 0.05: at 0.05 the window interval
+	// clamps to its 64-event floor and windows cover a degenerate share of
+	// the trace, so the absolute-error assertion would measure the clamp,
+	// not the estimator. Coverage is still asserted at 0.05 by
+	// TestFigure5Sampled.
+	opts := smallOpts()
+	opts.Scale = 0.2
+	res, err := Sampling(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(figure5Algs); len(res.Cells) != want {
+		t.Fatalf("cells = %d, want %d", len(res.Cells), want)
+	}
+	for _, c := range res.Cells {
+		if c.Exact <= 0 || c.Exact >= 1 || c.Est.MissRate <= 0 || c.Est.MissRate >= 1 {
+			t.Errorf("%s/%s: degenerate rates %+v", c.Bench, c.Alg, c)
+		}
+		if !c.Est.Covers(c.Exact) {
+			t.Errorf("%s/%s: interval ±%.4f around %.4f misses exact %.4f",
+				c.Bench, c.Alg, c.Est.CIHalf, c.Est.MissRate, c.Exact)
+		}
+	}
+	if mae := res.MeanAbsErr(); mae > 0.005 {
+		t.Errorf("mean abs error %.4fpp exceeds 0.5pp", 100*mae)
+	}
+	if f := res.ReplayFraction(); f <= 0 || f >= 0.5 {
+		t.Errorf("replay fraction %.3f not a saving", f)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mean |err|") {
+		t.Error("render missing summary line")
+	}
+}
+
+// TestFigure5Sampled checks the sampled Figure 5 grid against the exact
+// one: every sampled unperturbed estimate must sit within its own reported
+// confidence interval of the exact value — the same contract the CI
+// benchdiff -within-ci gate enforces on full runs.
+func TestFigure5Sampled(t *testing.T) {
+	opts := smallOpts()
+	exact, err := Figure5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Sample = true
+	sampled, err := Figure5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sampled.Sampled || exact.Sampled {
+		t.Fatalf("Sampled flags wrong: exact %v sampled %v", exact.Sampled, sampled.Sampled)
+	}
+	for bi, fb := range sampled.Benches {
+		if fb.CIHalf == nil {
+			t.Fatalf("%s: sampled run missing CI half-widths", fb.Name)
+		}
+		for alg, est := range fb.Unperturbed {
+			ref := exact.Benches[bi].Unperturbed[alg]
+			if d := est - ref; d > fb.CIHalf[alg] || -d > fb.CIHalf[alg] {
+				t.Errorf("%s/%s: estimate %.4f outside ±%.4f of exact %.4f",
+					fb.Name, alg, est, fb.CIHalf[alg], ref)
+			}
+		}
+	}
+	if exact.Benches[0].CIHalf != nil {
+		t.Error("exact run carries CI half-widths")
+	}
+
+	// The sampled grid must be deterministic across worker counts, like
+	// every other grid.
+	opts.Parallel = 8
+	again, err := Figure5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallel = 1
+	serial, err := Figure5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, again) {
+		t.Error("sampled Figure 5 differs across worker counts")
+	}
+}

@@ -44,7 +44,7 @@ func SetAssoc(opts Options) (*SetAssocResult, error) {
 	rows := make([]SetAssocRow, len(pairs))
 	err = forEach(opts.parallelism(), len(pairs), func(i int) error {
 		pair := pairs[i]
-		b, err := prepare(pair, opts.Cache, opts.Telemetry.Shard(), opts.Check, opts.Shards)
+		b, err := prepare(pair, opts.Cache, opts.Telemetry.Shard(), opts.Check, opts.Shards, nil)
 		if err != nil {
 			return err
 		}

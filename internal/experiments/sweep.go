@@ -48,7 +48,7 @@ func CacheSweep(opts Options) (*SweepResult, error) {
 	cells := make([]SweepCell, len(pairs)*len(geometries))
 	err = forEach(opts.parallelism(), len(cells), func(i int) error {
 		pair, cfg := pairs[i/len(geometries)], geometries[i%len(geometries)]
-		b, err := prepare(pair, cfg, opts.Telemetry.Shard(), opts.Check, opts.Shards)
+		b, err := prepare(pair, cfg, opts.Telemetry.Shard(), opts.Check, opts.Shards, nil)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,56 @@
+package sample
+
+import "testing"
+
+// TestHarnessAccuracy runs the randomized differential suite and asserts
+// the acceptance thresholds the sampler ships under: mean absolute
+// miss-rate error at most half a percentage point against the RunTrace
+// oracle, bounded worst case, and confidence intervals that actually
+// cover the exact value.
+func TestHarnessAccuracy(t *testing.T) {
+	opts := HarnessOptions{Seeds: 3}
+	if testing.Short() {
+		opts.Seeds = 1
+	}
+	res, err := RunHarness(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := opts.Seeds * len(HarnessAlgorithms); len(res.Cells) != want {
+		t.Fatalf("harness produced %d cells, want %d", len(res.Cells), want)
+	}
+	perAlg := map[string]int{}
+	for _, c := range res.Cells {
+		perAlg[c.Alg]++
+		if c.Exact < 0 || c.Exact > 1 || c.Sampled.MissRate < 0 || c.Sampled.MissRate > 1 {
+			t.Errorf("cell %+v has miss rates outside [0,1]", c)
+		}
+	}
+	for _, alg := range HarnessAlgorithms {
+		if perAlg[alg] != opts.Seeds {
+			t.Errorf("algorithm %q has %d cells, want %d", alg, perAlg[alg], opts.Seeds)
+		}
+	}
+
+	if mae := res.MeanAbsErr(); mae > 0.005 {
+		t.Errorf("mean abs error %.4fpp exceeds the 0.5pp acceptance bound", mae*100)
+	}
+	if max := res.MaxAbsErr(); max > 0.02 {
+		t.Errorf("max abs error %.4fpp exceeds 2pp", max*100)
+	}
+	if bias := res.MeanSignedErr(); bias > 0.005 || bias < -0.005 {
+		t.Errorf("estimator bias %.4fpp outside ±0.5pp", bias*100)
+	}
+	if cov := res.Coverage(); cov < 0.9 {
+		t.Errorf("CI coverage %.2f below 0.90", cov)
+	}
+}
+
+// TestHarnessEmptyResultAggregates pins the zero-value behavior of the
+// aggregate accessors (the CLI driver may render a zero-cell result).
+func TestHarnessEmptyResultAggregates(t *testing.T) {
+	r := &HarnessResult{}
+	if r.MeanAbsErr() != 0 || r.MaxAbsErr() != 0 || r.MeanSignedErr() != 0 || r.Coverage() != 0 {
+		t.Errorf("empty result aggregates nonzero: %+v", r)
+	}
+}

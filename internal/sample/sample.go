@@ -1,0 +1,506 @@
+// Package sample implements phase-aware sampled cache simulation: instead
+// of replaying a whole trace against every candidate layout, it selects a
+// small set of representative trace windows plus weights, replays only
+// those (with a warm-up prefix per window to control cold-start bias), and
+// reconstructs a weighted miss-rate estimate with a variance-derived
+// confidence interval.
+//
+// Window selection follows the NPS/SimPoint recipe: the trace is
+// partitioned into fixed-length windows, each window is summarized by a
+// reference signature (where its fetch volume lands, procedure by
+// procedure, hashed into a fixed number of dimensions and L1-normalized),
+// the signatures are clustered with k-means, and the medoid window of each
+// cluster represents it with a weight equal to the cluster's share of the
+// trace's total line references. The synthetic traces this repo evaluates
+// have explicit phase structure (tracegen alternates driver loops), which
+// is exactly what the signatures separate. Traces without phase structure
+// — near-identical signatures everywhere — fall back to uniform systematic
+// selection, which spreads the representatives evenly through time.
+//
+// The exact simulators remain the source of truth: the estimator is
+// accepted only with a measured error against the cache.RunTrace oracle
+// (see Harness and the experiments sampling driver), and CI gates every
+// estimate against its own reported confidence bound.
+package sample
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// sigDims is the dimensionality reference signatures are hashed into.
+// Programs here have hundreds to thousands of procedures; 64 hashed
+// dimensions keep signatures dense and cheap while still separating
+// phases that dwell on different driver loops.
+const sigDims = 64
+
+// DefaultWindows is the default number of representative windows.
+const DefaultWindows = 12
+
+// Options configures window selection and the estimator.
+type Options struct {
+	// Windows is the number of representative windows (the k of the
+	// clustering). Default DefaultWindows.
+	Windows int
+	// Interval is the partition window length in events. 0 derives it from
+	// the trace length (about 256 partitions, clamped to [64, 8192]) so the
+	// replayed fraction shrinks as traces grow.
+	Interval int
+	// Warmup is the number of events replayed (and discarded) before each
+	// measurement window to approximate mid-trace cache state. 0 means
+	// max(32, Interval/2); negative disables warm-up entirely.
+	Warmup int
+	// Seed drives the k-means++ initialization. Default 1. Selection is
+	// deterministic in (trace, Options).
+	Seed int64
+	// Z is the confidence-interval multiplier applied to the estimator's
+	// standard error. Default 1.96 (a nominal 95% interval).
+	Z float64
+	// Floor is an additive half-width floor (absolute miss-rate units)
+	// that absorbs the estimator's residual bias — the component the
+	// between-window variance cannot see. Default 0.002 (0.2 percentage
+	// points), calibrated by the accuracy harness.
+	Floor float64
+}
+
+func (o *Options) setDefaults(events int) {
+	if o.Windows <= 0 {
+		o.Windows = DefaultWindows
+	}
+	if o.Interval <= 0 {
+		o.Interval = events / 256
+		if o.Interval < 64 {
+			o.Interval = 64
+		}
+		if o.Interval > 8192 {
+			o.Interval = 8192
+		}
+	}
+	switch {
+	case o.Warmup < 0:
+		o.Warmup = 0
+	case o.Warmup == 0:
+		o.Warmup = o.Interval / 2
+		if o.Warmup < 32 {
+			o.Warmup = 32
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Z == 0 {
+		o.Z = 1.96
+	}
+	if o.Floor == 0 {
+		o.Floor = 0.002
+	}
+}
+
+// Window is one selected trace window: events [Start, End) are measured
+// after replaying the warm-up events [WarmStart, Start), and the window's
+// miss rate enters the estimate with the given weight.
+type Window struct {
+	Start, End int
+	WarmStart  int
+	// Weight is the share of the trace's total line references this window
+	// represents (its cluster's or stratum's refs share). Weights over a
+	// plan sum to 1 for non-empty traces.
+	Weight float64
+	// Fresh counts the line references inside [Start, End) that are the
+	// trace's global first touch of their line (layout-independent, like
+	// TotalRefs). During windowed replay these are the cold misses that
+	// are genuinely cold in the full run too; cold misses beyond Fresh are
+	// lines the full run touched earlier, whose window outcome is unknown.
+	Fresh int64
+}
+
+// Plan is a complete window-selection decision for one (trace, Options)
+// pair. Plans are immutable and safe for concurrent use; one plan is
+// shared across every layout evaluated against the trace.
+type Plan struct {
+	// Windows are the selected representatives in trace order.
+	Windows []Window
+	// Partitions is how many fixed-length windows the trace was cut into.
+	Partitions int
+	// Interval and Warmup are the resolved option values.
+	Interval int
+	Warmup   int
+	// TotalEvents and TotalRefs describe the full trace (refs at the
+	// planning line size, layout-independent).
+	TotalEvents int
+	TotalRefs   int64
+	// Clustered reports whether phase clustering selected the windows;
+	// false means the uniform-systematic fallback ran (phase-free trace or
+	// too few partitions to cluster).
+	Clustered bool
+
+	// procMax records, per executed procedure (ascending ID), the maximum
+	// effective extent observed anywhere in the trace. Together with
+	// lineBytes it reconstructs the full run's cold misses in closed form,
+	// see ColdRate.
+	procMax   []procExtent
+	lineBytes int
+	z, floor  float64
+}
+
+// procExtent is one executed procedure's maximum activation extent.
+type procExtent struct {
+	proc program.ProcID
+	max  int32
+}
+
+// EventsReplayed returns the number of trace events one estimate replays,
+// warm-up included.
+func (p *Plan) EventsReplayed() int64 {
+	var n int64
+	for _, w := range p.Windows {
+		n += int64(w.End - w.WarmStart)
+	}
+	return n
+}
+
+// ReplayFraction returns EventsReplayed / TotalEvents, the cost of one
+// sampled evaluation relative to an exact replay (0 for an empty trace).
+func (p *Plan) ReplayFraction() float64 {
+	if p.TotalEvents == 0 {
+		return 0
+	}
+	return float64(p.EventsReplayed()) / float64(p.TotalEvents)
+}
+
+// NewPlan selects representative windows for tr against prog. lineBytes is
+// the cache line size the evaluation will simulate; it only shapes the
+// layout-independent reference weights, so one plan serves every layout
+// and every same-line-size cache geometry.
+func NewPlan(prog *program.Program, tr *trace.Trace, lineBytes int, opts Options) (*Plan, error) {
+	if lineBytes <= 0 {
+		return nil, fmt.Errorf("sample: non-positive line size %d", lineBytes)
+	}
+	n := tr.Len()
+	opts.setDefaults(n)
+	p := &Plan{
+		Interval:    opts.Interval,
+		Warmup:      opts.Warmup,
+		TotalEvents: n,
+		lineBytes:   lineBytes,
+		z:           opts.Z,
+		floor:       opts.Floor,
+	}
+	if n == 0 {
+		return p, nil
+	}
+
+	// Partition the trace and weigh each partition by its layout-
+	// independent line references (trace.NumLineRefs semantics), keeping
+	// each procedure's maximum extent for the cold-miss reconstruction.
+	numParts := (n + opts.Interval - 1) / opts.Interval
+	p.Partitions = numParts
+	refs := make([]int64, numParts)
+	fresh := make([]int64, numParts)
+	sigs := make([][sigDims]float64, numParts)
+	maxExt := make([]int32, prog.NumProcs())
+	seenLines := make([]int32, prog.NumProcs())
+	for i, e := range tr.Events {
+		ext := e.ExtentBytes(prog)
+		if int32(ext) > maxExt[e.Proc] {
+			maxExt[e.Proc] = int32(ext)
+		}
+		lines := program.CeilDiv(ext, lineBytes)
+		r := int64(lines) * int64(e.Repeats())
+		w := i / opts.Interval
+		refs[w] += r
+		sigs[w][procDim(e.Proc)] += float64(r)
+		// Activations touch a prefix of the procedure's lines, so the
+		// trace's first touch of each line happens wherever the running
+		// per-procedure line-count high-water mark grows.
+		if int32(lines) > seenLines[e.Proc] {
+			fresh[w] += int64(int32(lines) - seenLines[e.Proc])
+			seenLines[e.Proc] = int32(lines)
+		}
+	}
+	for proc, m := range maxExt {
+		if m > 0 {
+			p.procMax = append(p.procMax, procExtent{program.ProcID(proc), m})
+		}
+	}
+	for w := range refs {
+		p.TotalRefs += refs[w]
+	}
+	normalize(sigs)
+
+	k := opts.Windows
+	if k > numParts {
+		k = numParts
+	}
+	var medoids []int
+	var weights []float64
+	if k == numParts || !hasPhases(sigs) {
+		medoids, weights = systematic(refs, p.TotalRefs, k)
+	} else {
+		medoids, weights = cluster(sigs, refs, p.TotalRefs, k, opts.Seed)
+		p.Clustered = true
+	}
+
+	for i, m := range medoids {
+		start := m * opts.Interval
+		end := start + opts.Interval
+		if end > n {
+			end = n
+		}
+		warm := start - opts.Warmup
+		if warm < 0 {
+			warm = 0
+		}
+		p.Windows = append(p.Windows, Window{
+			Start: start, End: end, WarmStart: warm, Weight: weights[i],
+			Fresh: fresh[m],
+		})
+	}
+	return p, nil
+}
+
+// ColdRate returns the full trace's cold misses per line reference under
+// layout, without any replay. A line's first touch is always a miss
+// whatever the cache geometry, and every cold miss is a first touch, so
+// the full run's cold-miss count equals the number of distinct lines the
+// trace touches: the union of each executed procedure's placed byte range
+// [addr, addr+maxExtent), counted at line granularity. Adjacent
+// procedures can share a boundary line, so overlapping line spans are
+// merged rather than summed. The denominator is the plan's
+// layout-independent reference count (alignment can add at most one line
+// per activation to the true denominator; the divergence is second-order
+// on a term that is itself small).
+func (p *Plan) ColdRate(layout *program.Layout) float64 {
+	if p.TotalRefs == 0 || len(p.procMax) == 0 {
+		return 0
+	}
+	lb := int64(p.lineBytes)
+	type span struct{ first, last int64 }
+	spans := make([]span, 0, len(p.procMax))
+	for _, pe := range p.procMax {
+		base := int64(layout.Addr(pe.proc))
+		spans = append(spans, span{base / lb, (base + int64(pe.max) - 1) / lb})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].first < spans[j].first })
+	var lines int64
+	covered := int64(-1) // highest line index already counted
+	for _, s := range spans {
+		f := s.first
+		if f <= covered {
+			f = covered + 1
+		}
+		if s.last < f {
+			continue
+		}
+		lines += s.last - f + 1
+		covered = s.last
+	}
+	return float64(lines) / float64(p.TotalRefs)
+}
+
+// procDim hashes a procedure ID into a signature dimension
+// (multiplicative hashing with a 64-bit golden-ratio constant).
+func procDim(p program.ProcID) int {
+	return int((uint64(p) + 1) * 0x9E3779B97F4A7C15 >> (64 - 6)) // 6 = log2(sigDims)
+}
+
+// normalize scales every signature to unit L1 mass, so clustering compares
+// where a window's fetch volume lands, not how large the window is.
+func normalize(sigs [][sigDims]float64) {
+	for i := range sigs {
+		var sum float64
+		for _, v := range sigs[i] {
+			sum += v
+		}
+		if sum == 0 {
+			continue
+		}
+		for d := range sigs[i] {
+			sigs[i][d] /= sum
+		}
+	}
+}
+
+// hasPhases reports whether the signatures vary enough for clustering to
+// be meaningful. A phase-free trace (every window touches the same code in
+// the same proportions) yields near-identical signatures; systematic
+// selection then covers time evenly instead of clustering noise.
+func hasPhases(sigs [][sigDims]float64) bool {
+	var mean [sigDims]float64
+	for i := range sigs {
+		for d, v := range sigs[i] {
+			mean[d] += v
+		}
+	}
+	inv := 1 / float64(len(sigs))
+	for d := range mean {
+		mean[d] *= inv
+	}
+	var total float64
+	for i := range sigs {
+		total += dist2(&sigs[i], &mean)
+	}
+	return total/float64(len(sigs)) > 1e-6
+}
+
+// dist2 returns the squared Euclidean distance between two signatures.
+func dist2(a, b *[sigDims]float64) float64 {
+	var s float64
+	for d := range a {
+		diff := a[d] - b[d]
+		s += diff * diff
+	}
+	return s
+}
+
+// systematic is the uniform fallback: cut the partitions into k contiguous
+// strata of near-equal size, represent each stratum by its middle
+// partition, and weigh it by the stratum's refs share.
+func systematic(refs []int64, totalRefs int64, k int) (medoids []int, weights []float64) {
+	numParts := len(refs)
+	if k <= 0 {
+		k = 1
+	}
+	for s := 0; s < k; s++ {
+		lo := s * numParts / k
+		hi := (s + 1) * numParts / k
+		if hi <= lo {
+			continue
+		}
+		var stratum int64
+		for w := lo; w < hi; w++ {
+			stratum += refs[w]
+		}
+		medoids = append(medoids, (lo+hi)/2)
+		weights = append(weights, share(stratum, totalRefs))
+	}
+	return medoids, weights
+}
+
+// cluster runs k-means (k-means++ init, fixed iteration cap) over the
+// window signatures and returns each non-empty cluster's medoid window and
+// refs-share weight, in trace order.
+func cluster(sigs [][sigDims]float64, refs []int64, totalRefs int64, k int, seed int64) (medoids []int, weights []float64) {
+	numParts := len(sigs)
+	rng := rand.New(rand.NewSource(seed))
+
+	// k-means++ initialization.
+	centroids := make([][sigDims]float64, 0, k)
+	centroids = append(centroids, sigs[rng.Intn(numParts)])
+	d2 := make([]float64, numParts)
+	for len(centroids) < k {
+		var sum float64
+		for i := range sigs {
+			best := math.Inf(1)
+			for c := range centroids {
+				if d := dist2(&sigs[i], &centroids[c]); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			sum += best
+		}
+		if sum == 0 {
+			break // fewer distinct signatures than k
+		}
+		x := rng.Float64() * sum
+		pick := numParts - 1
+		for i, d := range d2 {
+			x -= d
+			if x <= 0 {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, sigs[pick])
+	}
+	k = len(centroids)
+
+	assign := make([]int, numParts)
+	for iter := 0; iter < 30; iter++ {
+		changed := false
+		for i := range sigs {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if d := dist2(&sigs[i], &centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids as member means.
+		sums := make([][sigDims]float64, k)
+		nMembers := make([]int, k)
+		for i := range sigs {
+			c := assign[i]
+			nMembers[c]++
+			for d, v := range sigs[i] {
+				sums[c][d] += v
+			}
+		}
+		for c := range centroids {
+			if nMembers[c] == 0 {
+				continue // empty cluster keeps its centroid
+			}
+			inv := 1 / float64(nMembers[c])
+			for d := range sums[c] {
+				sums[c][d] *= inv
+			}
+			centroids[c] = sums[c]
+		}
+	}
+
+	// Medoid and refs weight per non-empty cluster, emitted in trace order.
+	type rep struct {
+		window int
+		weight float64
+	}
+	var reps []rep
+	for c := 0; c < k; c++ {
+		best, bestD := -1, math.Inf(1)
+		var clusterRefs int64
+		for i := range sigs {
+			if assign[i] != c {
+				continue
+			}
+			clusterRefs += refs[i]
+			if d := dist2(&sigs[i], &centroids[c]); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		reps = append(reps, rep{best, share(clusterRefs, totalRefs)})
+	}
+	// Insertion sort by window index: k is small and this keeps selection
+	// deterministic and ordered without importing sort.
+	for i := 1; i < len(reps); i++ {
+		for j := i; j > 0 && reps[j-1].window > reps[j].window; j-- {
+			reps[j-1], reps[j] = reps[j], reps[j-1]
+		}
+	}
+	for _, r := range reps {
+		medoids = append(medoids, r.window)
+		weights = append(weights, r.weight)
+	}
+	return medoids, weights
+}
+
+func share(part, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(part) / float64(total)
+}

@@ -17,6 +17,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strings"
 
 	"repro/internal/telemetry"
 )
@@ -161,6 +162,14 @@ type DiffOptions struct {
 	// setting when the two reports come from different worker counts or
 	// machines.
 	TimingTol float64
+	// WithinCI compares a sampled report against an exact one: each
+	// (benchmark, algorithm) cell is allowed to differ by the confidence
+	// half-width its own report carries under the "<alg>/ci" key (falling
+	// back to MissRateTol for cells without one, e.g. the exact table1
+	// rows), the "/ci" keys themselves are never compared, and counters,
+	// histograms and timers are skipped entirely — a sampled run
+	// legitimately replays a different amount of work.
+	WithinCI bool
 }
 
 // Finding is one comparison result. Drift findings are gate failures;
@@ -200,9 +209,11 @@ func Diff(old, new *Report, o DiffOptions) []Finding {
 			Detail: fmt.Sprintf("%d vs %d", old.Version, new.Version)})
 	}
 	fs = append(fs, diffMissRates(old, new, o)...)
-	fs = append(fs, diffCounters(old.Counters, new.Counters, o)...)
-	fs = append(fs, diffHistograms(old.Histograms, new.Histograms, o)...)
-	fs = append(fs, diffTimers(old.Timers, new.Timers, o)...)
+	if !o.WithinCI {
+		fs = append(fs, diffCounters(old.Counters, new.Counters, o)...)
+		fs = append(fs, diffHistograms(old.Histograms, new.Histograms, o)...)
+		fs = append(fs, diffTimers(old.Timers, new.Timers, o)...)
+	}
 	return fs
 }
 
@@ -225,6 +236,9 @@ func diffMissRates(old, new *Report, o DiffOptions) []Finding {
 			continue
 		}
 		for _, alg := range sortedKeys(ob.MissRates, nb.MissRates) {
+			if o.WithinCI && strings.HasSuffix(alg, "/ci") {
+				continue // a bound, not a measurement
+			}
 			omr, inO := ob.MissRates[alg]
 			nmr, inN := nb.MissRates[alg]
 			key := name + "/" + alg
@@ -233,10 +247,21 @@ func diffMissRates(old, new *Report, o DiffOptions) []Finding {
 					Detail: presence(inO, inN)})
 				continue
 			}
-			if d := math.Abs(omr - nmr); d > o.MissRateTol {
+			tol := o.MissRateTol
+			if o.WithinCI {
+				// Either side may be the sampled report; take the widest
+				// interval on offer for the cell.
+				if ci, ok := ob.MissRates[alg+"/ci"]; ok && ci > tol {
+					tol = ci
+				}
+				if ci, ok := nb.MissRates[alg+"/ci"]; ok && ci > tol {
+					tol = ci
+				}
+			}
+			if d := math.Abs(omr - nmr); d > tol {
 				fs = append(fs, Finding{Drift: true, Kind: "missrate", Key: key,
 					Detail: fmt.Sprintf("%.6f%% -> %.6f%% (|Δ| %.6f%% > tol %.6f%%)",
-						100*omr, 100*nmr, 100*d, 100*o.MissRateTol)})
+						100*omr, 100*nmr, 100*d, 100*tol)})
 			}
 		}
 	}

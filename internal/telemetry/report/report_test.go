@@ -194,3 +194,54 @@ func TestFindingString(t *testing.T) {
 		t.Errorf("note finding string = %q", got)
 	}
 }
+
+// TestDiffWithinCI exercises the sampled-vs-exact gate: each cell is
+// tolerated up to the confidence half-width its own report records under
+// the "<alg>/ci" key.
+func TestDiffWithinCI(t *testing.T) {
+	exact, sampled := sampleReport(), sampleReport()
+	// The sampled estimate is off by 0.003 but carries a ±0.004 bound.
+	sampled.AddMissRate("perl", "GBSC", 0.0153)
+	sampled.AddMissRate("perl", "GBSC/ci", 0.004)
+	// The "/ci" key exists only in the sampled report; it must not be
+	// compared or flagged as a presence change.
+	if fs := Diff(exact, sampled, DiffOptions{WithinCI: true}); HasDrift(fs) {
+		t.Errorf("estimate within its CI flagged: %v", fs)
+	}
+	// The same pair fails an exact comparison.
+	if fs := Diff(exact, sampled, DiffOptions{}); !HasDrift(fs) {
+		t.Error("exact comparison must flag the 0.003 difference")
+	}
+	// An estimate outside its bound is drift even under WithinCI.
+	sampled.AddMissRate("perl", "GBSC", 0.0183) // |Δ| 0.006 > ci 0.004
+	if fs := Diff(exact, sampled, DiffOptions{WithinCI: true}); !HasDrift(fs) {
+		t.Error("estimate outside its CI not flagged")
+	}
+}
+
+// TestDiffWithinCIFallback: cells without a "/ci" bound fall back to
+// MissRateTol, so exact rows in a mixed report still gate tightly.
+func TestDiffWithinCIFallback(t *testing.T) {
+	a, b := sampleReport(), sampleReport()
+	b.AddMissRate("perl", "PH", 0.0466) // +0.001, no "/ci" recorded
+	if fs := Diff(a, b, DiffOptions{WithinCI: true}); !HasDrift(fs) {
+		t.Error("cell without a bound must gate at MissRateTol (0)")
+	}
+	if fs := Diff(a, b, DiffOptions{WithinCI: true, MissRateTol: 0.002}); HasDrift(fs) {
+		t.Errorf("cell within MissRateTol fallback flagged: %v", fs)
+	}
+}
+
+// TestDiffWithinCISkipsWork: sampled runs replay a different amount of
+// work, so counters, histograms, and timers must not be compared.
+func TestDiffWithinCISkipsWork(t *testing.T) {
+	a, b := sampleReport(), sampleReport()
+	b.Counters["cache/misses"] = 999999
+	b.Counters["sample/windows"] = 12
+	delete(b.Histograms, "trg/q_procs")
+	b.Timers["prepare/wall"] = telemetry.TimerStats{Count: 1, TotalNS: 9e12, MaxNS: 9e12}
+	fs := Diff(a, b, DiffOptions{WithinCI: true, TimingTol: 0.01})
+	if HasDrift(fs) {
+		t.Errorf("counter/histogram/timer differences flagged under WithinCI: %v", fs)
+	}
+}
