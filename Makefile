@@ -26,6 +26,7 @@ vet:
 # selftest proves the analyzers still catch the known-bad fixtures before
 # the clean repo run is trusted.
 lint:
+	$(GO) vet ./...
 	$(GO) run ./cmd/repolint -selftest
 	$(GO) run ./cmd/repolint
 
@@ -60,6 +61,11 @@ TRG_BENCHES = ^(BenchmarkTRGBuildSerial|BenchmarkTRGBuildSharded8|BenchmarkShard
 # construction, and the sampled Figure 5 grid end to end.
 SAMPLE_BENCHES = ^(BenchmarkSampledFigure5|BenchmarkSamplePlan|BenchmarkExactMissRate|BenchmarkSampledMissRate)$$
 
+# Static must/may bounds (BENCH_static.json): model construction, the
+# per-layout Analyze screening cost vs the exact replay it replaces, and
+# the staticbounds experiment grid end to end.
+STATIC_BENCHES = ^(BenchmarkStaticModel|BenchmarkStaticAnalyze|BenchmarkStaticExactReplay|BenchmarkStaticBoundsGrid)$$
+
 bench-json:
 	$(GO) test -run '^$$' -bench '$(GBSC_BENCHES)' -benchmem \
 		-benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_gbsc.json
@@ -67,6 +73,8 @@ bench-json:
 		-benchtime=$(BENCHTIME) . ./internal/trg/ | $(GO) run ./cmd/benchjson > BENCH_trg.json
 	$(GO) test -run '^$$' -bench '$(SAMPLE_BENCHES)' -benchmem \
 		-benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_sample.json
+	$(GO) test -run '^$$' -bench '$(STATIC_BENCHES)' -benchmem \
+		-benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_static.json
 
 # Regenerate the full paper evaluation (EXPERIMENTS.md numbers).
 experiments:

@@ -18,6 +18,13 @@
 // layout is scored by replaying only the representative windows, printing
 // the estimate with its confidence interval. With -stats the estimate is
 // recorded under the usual label plus a "<label>/ci" half-width key.
+//
+// -static-bounds additionally prints the static must/may miss-rate
+// interval (internal/staticcache) of every layout and, under -check fatal
+// or warn, cross-checks it against the exact run — an interval that fails
+// to bracket the simulated miss count is a soundness bug and is enforced
+// like any other invariant. With -stats the bounds land under the
+// "<label>/static_lower" and "<label>/static_upper" keys.
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"repro/internal/invariant"
 	"repro/internal/program"
 	"repro/internal/sample"
+	"repro/internal/staticcache"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/report"
 	"repro/internal/trace"
@@ -63,6 +71,7 @@ func run() error {
 	sampleFlag := flag.Bool("sample", false, "estimate miss rates from sampled trace windows instead of exact replay (incompatible with -classify)")
 	sampleWindows := flag.Int("sample-windows", 0, "sampled windows per trace (0 = default 12)")
 	sampleInterval := flag.Int("sample-interval", 0, "sampled window length in events (0 = derive from trace length)")
+	staticBounds := flag.Bool("static-bounds", false, "also compute static must/may miss-rate bounds per layout and cross-check them against the exact run (incompatible with -sample)")
 	flag.Parse()
 
 	checkMode, err := invariant.ParseMode(*checkFlag)
@@ -74,6 +83,9 @@ func run() error {
 	}
 	if *sampleFlag && *classify {
 		return fmt.Errorf("-sample cannot classify misses; drop one of the flags")
+	}
+	if *sampleFlag && *staticBounds {
+		return fmt.Errorf("-static-bounds needs the exact run to cross-check against; drop -sample")
 	}
 
 	stopProf, err := telemetry.StartProfiles(*cpuProfile, *memProfile)
@@ -199,6 +211,35 @@ func run() error {
 		return "sim"
 	}
 
+	// One static model serves every layout — the class graph and adjacency
+	// depend only on (program, trace, geometry).
+	var model *staticcache.Model
+	if *staticBounds {
+		model, err = staticcache.NewModel(prog, tr, cfg)
+		if err != nil {
+			return err
+		}
+	}
+	// emitBounds prints the interval for one layout and enforces the
+	// soundness cross-check against its exact stats.
+	emitBounds := func(i int, layout *program.Layout, st cache.Stats) error {
+		if model == nil {
+			return nil
+		}
+		iv := model.Analyze(layout)
+		fmt.Printf("static bounds: [%.4f%%, %.4f%%] (width %.4fpp, %.1f%% of refs classified)\n",
+			100*iv.LowerRate(), 100*iv.UpperRate(), 100*iv.Width(), 100*iv.ClassifiedFrac())
+		vs := staticcache.CheckBounds(iv, st)
+		if err := invariant.Enforce(checkMode, "cachesim/staticbounds/"+names[i], vs, log.Printf); err != nil {
+			return err
+		}
+		if rep != nil {
+			rep.AddMissRate(bench, label(i)+"/static_lower", iv.LowerRate())
+			rep.AddMissRate(bench, label(i)+"/static_upper", iv.UpperRate())
+		}
+		return nil
+	}
+
 	if *classify {
 		for i, layout := range layouts {
 			if multi {
@@ -225,6 +266,9 @@ func run() error {
 			addReplay(rs)
 			if rep != nil {
 				rep.AddMissRate(bench, label(i), cs.MissRate())
+			}
+			if err := emitBounds(i, layout, cs.Stats); err != nil {
+				return err
 			}
 		}
 		return nil
@@ -283,6 +327,9 @@ func run() error {
 		addReplay(sim.Replay())
 		if rep != nil {
 			rep.AddMissRate(bench, label(i), st.MissRate())
+		}
+		if err := emitBounds(i, layout, st); err != nil {
+			return err
 		}
 	}
 	return nil

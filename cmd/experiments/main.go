@@ -11,7 +11,12 @@
 //	experiments -run all -stats report.json -cpuprofile cpu.pprof
 //
 // Available experiments: table1, figure5, figure6, padding, sameinput,
-// setassoc, ablations, sampling, all.
+// setassoc, ablations, sampling, staticbounds, all.
+//
+// staticbounds compares the static must/may interval (internal/staticcache)
+// against the exact replay of every (benchmark, algorithm) layout; under
+// -check fatal an interval that fails to bracket its exact run aborts the
+// run — the smoke run's soundness gate.
 //
 // -sample switches the Figure 5 grid from exact compiled replay to the
 // phase-aware sampled estimator (internal/sample); every reported miss
@@ -183,6 +188,7 @@ func run() error {
 		{"blockreorder", func() (any, error) { return render(experiments.BlockReorder(opts)) }},
 		{"headroom", func() (any, error) { return render(experiments.Headroom(opts)) }},
 		{"sampling", func() (any, error) { return render(experiments.Sampling(opts)) }},
+		{"staticbounds", func() (any, error) { return render(experiments.StaticBounds(opts)) }},
 	}
 
 	ran := 0

@@ -40,6 +40,7 @@ func Optimality(opts Options) (*OptimalityResult, error) {
 	opts.setDefaults()
 	tiny := cache.Config{SizeBytes: 128, LineBytes: 32, Assoc: 1}
 	res := &OptimalityResult{}
+	sh := opts.Telemetry.Shard()
 	const workloads = 20
 	var ratioSum float64
 	for w := 0; w < workloads; w++ {
@@ -57,15 +58,36 @@ func Optimality(opts Options) (*OptimalityResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Loop-structured workloads: bursts of round-robin sweeps (the
+		// cyclic call pattern of a loop body) interleaved with random
+		// walks. Instruction traces are loopy, not IID-random. Every
+		// fourth workload is a pure loop nest — on those the class graph
+		// is a single cycle, so the static pre-screening inside
+		// optimal.Search bounds tightly enough to prune candidates.
+		pureLoop := w%4 == 0
 		tr := &trace.Trace{}
-		for i := 0; i < 500; i++ {
-			tr.Append(trace.Event{Proc: program.ProcID(rng.Intn(n))})
+		for tr.Len() < 500 {
+			if pureLoop || rng.Intn(2) == 0 {
+				sweeps := rng.Intn(8) + 2
+				for s := 0; s < sweeps; s++ {
+					for p := 0; p < n; p++ {
+						tr.Append(trace.Event{Proc: program.ProcID(p)})
+					}
+				}
+			} else {
+				walk := rng.Intn(20) + 5
+				for i := 0; i < walk; i++ {
+					tr.Append(trace.Event{Proc: program.ProcID(rng.Intn(n))})
+				}
+			}
 		}
 
 		opt, err := optimal.Search(prog, tr, tiny)
 		if err != nil {
 			return nil, err
 		}
+		sh.Add("static/pruned", opt.Pruned)
+		sh.Add("static/evaluated", opt.Evaluated)
 		// Both layouts come from place.Linearize with every procedure
 		// popular, so full alignment applies.
 		if err := checkAligned(opts.Check, fmt.Sprintf("optimality/seed%d/optimal", seed), prog, opt.Layout, nil, tiny); err != nil {

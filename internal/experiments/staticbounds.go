@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"text/tabwriter"
+
+	"repro/internal/cache"
+	"repro/internal/invariant"
+	"repro/internal/staticcache"
+	"repro/internal/telemetry"
+)
+
+// StaticBoundsCell is one (benchmark, algorithm) comparison of the static
+// must/may interval against the exact compiled replay of the same layout
+// on the testing trace.
+type StaticBoundsCell struct {
+	Bench    string
+	Alg      AlgorithmName
+	Exact    float64
+	Interval staticcache.Interval
+}
+
+// StaticBoundsResult is the bound-tightness table backing the "Static
+// bounds" section of EXPERIMENTS.md: for every benchmark and paper
+// algorithm, the exact miss rate, the sound [lower, upper] interval, its
+// width, and the fraction of references the analysis classified. Like the
+// sampling driver it records nothing into the run report, and Render emits
+// no wall-clock values, so the serial/parallel byte-identity gates cover
+// this output too.
+type StaticBoundsResult struct {
+	Scale float64
+	Cells []StaticBoundsCell
+}
+
+// MeanWidth returns the mean interval width in miss-rate units.
+func (r *StaticBoundsResult) MeanWidth() float64 {
+	if len(r.Cells) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range r.Cells {
+		sum += c.Interval.Width()
+	}
+	return sum / float64(len(r.Cells))
+}
+
+// MeanClassified returns the mean classified-reference fraction.
+func (r *StaticBoundsResult) MeanClassified() float64 {
+	if len(r.Cells) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range r.Cells {
+		sum += c.Interval.ClassifiedFrac()
+	}
+	return sum / float64(len(r.Cells))
+}
+
+// StaticBounds measures the static analysis against the exact oracle on
+// the real benchmark suite: every (benchmark, algorithm) layout is scored
+// both ways and the interval must bracket the exact run — a violation is a
+// soundness bug, surfaced through Options.Check like any other invariant
+// (this is the smoke run's soundness gate). One model per benchmark serves
+// all algorithms, the reuse the Model/Analyze split exists for. The grid
+// is sharded across Options.Parallel workers with index-addressed cells,
+// so the result is byte-identical at every worker count.
+func StaticBounds(opts Options) (*StaticBoundsResult, error) {
+	opts.setDefaults()
+	if err := opts.Cache.Validate(); err != nil {
+		return nil, err
+	}
+	par := opts.parallelism()
+	pairs, benches, err := opts.prepareSuite(opts.Cache, par)
+	if err != nil {
+		return nil, err
+	}
+
+	// The models are layout-independent; build them once per benchmark
+	// before the grid fans out.
+	models := make([]*staticcache.Model, len(benches))
+	err = runParallel(par, len(benches),
+		func() *telemetry.Shard { return opts.Telemetry.Shard() },
+		func(sh *telemetry.Shard, i int) error {
+			m, err := staticcache.NewModel(pairs[i].Bench.Prog, benches[i].test, opts.Cache)
+			if err != nil {
+				return fmt.Errorf("%s: %w", pairs[i].Bench.Name, err)
+			}
+			models[i] = m
+			sh.Add("static/classes", int64(m.NumClasses()))
+			sh.Add("static/edges", int64(m.NumEdges()))
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &StaticBoundsResult{Scale: opts.Scale, Cells: make([]StaticBoundsCell, len(pairs)*len(figure5Algs))}
+	err = runParallel(par, len(out.Cells),
+		func() *figure5State {
+			return &figure5State{sim: cache.MustNewSim(opts.Cache), sh: opts.Telemetry.Shard()}
+		},
+		func(st *figure5State, i int) error {
+			bi, ai := i/len(figure5Algs), i%len(figure5Algs)
+			b, alg := benches[bi], figure5Algs[ai]
+			name := fmt.Sprintf("%s/%s/staticbounds", pairs[bi].Bench.Name, alg)
+			layout, err := buildLayout(alg, b, opts.Cache, nil, st.sh, opts.Check)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			exact := st.sim.RunCompiled(b.ctTest, layout)
+			iv := models[bi].Analyze(layout)
+			if opts.Check != invariant.ModeOff {
+				vs := staticcache.CheckBounds(iv, exact)
+				if err := invariant.Enforce(opts.Check, name, vs, log.Printf); err != nil {
+					return err
+				}
+			}
+			out.Cells[i] = StaticBoundsCell{
+				Bench: pairs[bi].Bench.Name, Alg: alg,
+				Exact: exact.MissRate(), Interval: iv,
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Render prints the per-cell bound-tightness table and the aggregate
+// summary.
+func (r *StaticBoundsResult) Render(w io.Writer) error {
+	fmt.Fprintf(w, "== static miss-rate bounds vs exact (s=%.2f) ==\n", r.Scale)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "bench\talg\texact\tlower\tupper\twidth\tclassified")
+	for _, c := range r.Cells {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%.2fpp\t%s\n",
+			c.Bench, c.Alg, pct(c.Exact),
+			pct(c.Interval.LowerRate()), pct(c.Interval.UpperRate()),
+			100*c.Interval.Width(), pct(c.Interval.ClassifiedFrac()))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "mean width %.2fpp, mean classified %s; every interval brackets its exact run\n",
+		100*r.MeanWidth(), pct(r.MeanClassified()))
+	return nil
+}

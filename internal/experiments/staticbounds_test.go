@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/invariant"
+	"repro/internal/staticcache"
+)
+
+// TestStaticBounds runs the bound-tightness driver at test scale with the
+// soundness gate fatal: every interval must bracket its exact run (a
+// violation aborts via Options.Check), and the table must carry real
+// rates, non-degenerate classification, and a well-formed render.
+func TestStaticBounds(t *testing.T) {
+	opts := smallOpts()
+	opts.Check = invariant.ModeFatal
+	res, err := StaticBounds(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(figure5Algs); len(res.Cells) != want {
+		t.Fatalf("cells = %d, want %d", len(res.Cells), want)
+	}
+	for _, c := range res.Cells {
+		if c.Exact <= 0 || c.Exact >= 1 {
+			t.Errorf("%s/%s: degenerate exact rate %v", c.Bench, c.Alg, c.Exact)
+		}
+		iv := c.Interval
+		if iv.LowerRate() > c.Exact || iv.UpperRate() < c.Exact {
+			t.Errorf("%s/%s: interval [%v, %v] misses exact %v",
+				c.Bench, c.Alg, iv.LowerRate(), iv.UpperRate(), c.Exact)
+		}
+		if vs := staticcache.CheckInterval(iv); len(vs) != 0 {
+			t.Errorf("%s/%s: malformed interval: %v", c.Bench, c.Alg, vs)
+		}
+		if iv.ClassifiedFrac() <= 0 {
+			t.Errorf("%s/%s: no references classified", c.Bench, c.Alg)
+		}
+	}
+	if res.MeanWidth() <= 0 || res.MeanWidth() >= 1 {
+		t.Errorf("mean width %v out of range", res.MeanWidth())
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mean width") {
+		t.Error("render missing summary line")
+	}
+}
+
+// TestStaticBoundsParallelIdentity reruns the grid serially and with four
+// workers: the cells (and hence the rendered table) must be identical,
+// the same determinism contract every other experiment honors.
+func TestStaticBoundsParallelIdentity(t *testing.T) {
+	serial := smallOpts()
+	serial.Parallel = 1
+	par := smallOpts()
+	par.Parallel = 4
+	a, err := StaticBounds(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := StaticBounds(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Cells, b.Cells) {
+		t.Error("serial and parallel staticbounds grids diverge")
+	}
+}

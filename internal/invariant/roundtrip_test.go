@@ -1,4 +1,4 @@
-package invariant
+package invariant_test
 
 import (
 	"fmt"
@@ -9,6 +9,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/invariant"
 	"repro/internal/optimal"
 	"repro/internal/popular"
 	"repro/internal/program"
@@ -37,7 +38,7 @@ func randomTrace(rng *rand.Rand, prog *program.Program, events int) *trace.Trace
 	return tr
 }
 
-func mustClean(t *testing.T, alg string, vs []Violation) {
+func mustClean(t *testing.T, alg string, vs []invariant.Violation) {
 	t.Helper()
 	if len(vs) != 0 {
 		t.Errorf("%s: layout violates invariants: %v", alg, vs)
@@ -58,13 +59,13 @@ func TestAllAlgorithmsSatisfyInvariants(t *testing.T) {
 			pop := popular.Select(prog, tr, popular.Options{})
 
 			// Link order and Pettis-Hansen produce packed permutations.
-			mustClean(t, "default", CheckLayout(prog, program.DefaultLayout(prog),
-				LayoutOptions{RequirePacked: true}))
+			mustClean(t, "default", invariant.CheckLayout(prog, program.DefaultLayout(prog),
+				invariant.LayoutOptions{RequirePacked: true}))
 			phl, err := baseline.PHLayout(prog, wcg.Build(tr))
 			if err != nil {
 				t.Fatal(err)
 			}
-			mustClean(t, "ph", CheckLayout(prog, phl, LayoutOptions{RequirePacked: true}))
+			mustClean(t, "ph", invariant.CheckLayout(prog, phl, invariant.LayoutOptions{RequirePacked: true}))
 
 			// HKC only aligns the compound procedures it colors, so it gets
 			// the universal checks.
@@ -72,7 +73,7 @@ func TestAllAlgorithmsSatisfyInvariants(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			mustClean(t, "hkc", CheckLayout(prog, hkcl, LayoutOptions{Cache: cfg, Popular: pop}))
+			mustClean(t, "hkc", invariant.CheckLayout(prog, hkcl, invariant.LayoutOptions{Cache: cfg, Popular: pop}))
 
 			// The GBSC family goes through place.Emit: every popular
 			// procedure line-aligned on its assigned cache line.
@@ -82,7 +83,7 @@ func TestAllAlgorithmsSatisfyInvariants(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			mustClean(t, "trg", CheckTRG(prog, res, bs, pop))
+			mustClean(t, "trg", invariant.CheckTRG(prog, res, bs, pop))
 
 			items, err := core.Assign(prog, res, pop, cfg)
 			if err != nil {
@@ -92,7 +93,7 @@ func TestAllAlgorithmsSatisfyInvariants(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			mustClean(t, "gbsc", CheckLayout(prog, gl, LayoutOptions{
+			mustClean(t, "gbsc", invariant.CheckLayout(prog, gl, invariant.LayoutOptions{
 				Cache: cfg, Popular: pop, Placed: items,
 				Chunker: res.Chunker, RequireAlignedPopular: true,
 			}))
@@ -101,7 +102,7 @@ func TestAllAlgorithmsSatisfyInvariants(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			mustClean(t, "pagelocal", CheckLayout(prog, pgl, LayoutOptions{
+			mustClean(t, "pagelocal", invariant.CheckLayout(prog, pgl, invariant.LayoutOptions{
 				Cache: cfg, Popular: pop, RequireAlignedPopular: true,
 			}))
 
@@ -109,7 +110,7 @@ func TestAllAlgorithmsSatisfyInvariants(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			mustClean(t, "anneal", CheckLayout(prog, al, LayoutOptions{
+			mustClean(t, "anneal", invariant.CheckLayout(prog, al, invariant.LayoutOptions{
 				Cache: cfg, Popular: pop, RequireAlignedPopular: true,
 			}))
 
@@ -125,7 +126,7 @@ func TestAllAlgorithmsSatisfyInvariants(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			mustClean(t, "gbsc2", CheckLayout(prog, l2, LayoutOptions{
+			mustClean(t, "gbsc2", invariant.CheckLayout(prog, l2, invariant.LayoutOptions{
 				Cache: cfg2, Popular: pop, Period: cfg2.NumSets(),
 				RequireAlignedPopular: true,
 			}))
@@ -151,7 +152,7 @@ func TestAllAlgorithmsSatisfyInvariants(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			mustClean(t, "splitting", CheckLayout(sp.Prog, sl, LayoutOptions{
+			mustClean(t, "splitting", invariant.CheckLayout(sp.Prog, sl, invariant.LayoutOptions{
 				Cache: cfg, Popular: spop, Chunker: sres.Chunker,
 				RequireAlignedPopular: true,
 			}))
@@ -168,7 +169,7 @@ func TestAllAlgorithmsSatisfyInvariants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mustClean(t, "optimal", CheckLayout(prog, opt.Layout, LayoutOptions{
+	mustClean(t, "optimal", invariant.CheckLayout(prog, opt.Layout, invariant.LayoutOptions{
 		Cache: tiny, RequireAlignedPopular: true,
 	}))
 }

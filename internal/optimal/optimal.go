@@ -12,6 +12,7 @@ import (
 	"repro/internal/place"
 	"repro/internal/popular"
 	"repro/internal/program"
+	"repro/internal/staticcache"
 	"repro/internal/trace"
 )
 
@@ -26,16 +27,27 @@ type Result struct {
 	Layout *program.Layout
 	// Misses is the optimal miss count on the given trace.
 	Misses int64
-	// Evaluated is the number of alignments simulated.
+	// Evaluated is the number of alignments actually simulated; Pruned is
+	// the number skipped because their static lower bound already exceeded
+	// the incumbent's simulated miss count. Evaluated+Pruned is the full
+	// candidate space.
 	Evaluated int64
+	Pruned    int64
 }
 
 // Search exhaustively tries every combination of cache-line offsets for
 // the program's procedures (the first procedure is pinned to line 0 —
 // rotations of a placement are equivalent) and returns a layout minimizing
 // the simulated miss count of tr. Programs must have at most MaxProcs
-// procedures and a modest line count; the cost is lines^(n-1) trace
-// simulations.
+// procedures and a modest line count; the cost is at most lines^(n-1)
+// trace simulations.
+//
+// Candidates are pre-screened with the static analysis: a layout whose
+// sound lower miss bound (staticcache) already exceeds the best simulated
+// miss count so far cannot win — its true misses are at least the bound —
+// so its replay is skipped. Ties are impossible among pruned candidates
+// (the bound must strictly exceed the incumbent), so the returned layout
+// is byte-identical to the unscreened search's first-minimal winner.
 func Search(prog *program.Program, tr *trace.Trace, cfg cache.Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -54,6 +66,14 @@ func Search(prog *program.Program, tr *trace.Trace, cfg cache.Config) (*Result, 
 		return nil, err
 	}
 
+	// One static model serves every candidate: the activation classes and
+	// adjacency edges depend only on (program, trace, geometry), while the
+	// per-layout Analyze pass is far cheaper than a replay.
+	model, err := staticcache.NewModel(prog, tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+
 	lines := cfg.NumLines()
 	offsets := make([]int, n) // offsets[0] stays 0
 	res := &Result{Misses: int64(^uint64(0) >> 1)}
@@ -68,14 +88,18 @@ func Search(prog *program.Program, tr *trace.Trace, cfg cache.Config) (*Result, 
 		if err != nil {
 			return nil, err
 		}
-		st, err := cache.RunTrace(cfg, layout, tr)
-		if err != nil {
-			return nil, err
-		}
-		res.Evaluated++
-		if st.Misses < res.Misses {
-			res.Misses = st.Misses
-			res.Layout = layout
+		if res.Layout != nil && model.Analyze(layout).LowerMisses > res.Misses {
+			res.Pruned++
+		} else {
+			st, err := cache.RunTrace(cfg, layout, tr)
+			if err != nil {
+				return nil, err
+			}
+			res.Evaluated++
+			if st.Misses < res.Misses {
+				res.Misses = st.Misses
+				res.Layout = layout
+			}
 		}
 
 		// Advance the odometer over offsets[1..n-1].

@@ -1,0 +1,265 @@
+package staticcache
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+var testCfg = cache.Config{SizeBytes: 1024, LineBytes: 32, Assoc: 1}
+
+// appendClamped appends an event with the extent clamped to the
+// procedure's size (0 keeps the full-extent shorthand).
+func appendClamped(tr *trace.Trace, prog *program.Program, p program.ProcID, ext, rep int) {
+	if s := prog.Size(p); ext > s {
+		ext = s
+	}
+	tr.Append(trace.Event{Proc: p, Extent: int32(ext), Repeat: int32(rep)})
+}
+
+func mustProg(t *testing.T, sizes ...int) *program.Program {
+	t.Helper()
+	procs := make([]program.Procedure, len(sizes))
+	for i, s := range sizes {
+		procs[i] = program.Procedure{Name: string(rune('a' + i)), Size: s}
+	}
+	return program.MustNew(procs)
+}
+
+// checkAgainstSim asserts the interval soundly brackets the exact run and
+// returns both for further assertions.
+func checkAgainstSim(t *testing.T, prog *program.Program, tr *trace.Trace, cfg cache.Config, layout *program.Layout) (Interval, cache.Stats) {
+	t.Helper()
+	iv, err := Bounds(prog, tr, cfg, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cache.RunTrace(cfg, layout, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range CheckBounds(iv, st) {
+		t.Errorf("unsound: %s (interval [%d,%d], exact %d)", v, iv.LowerMisses, iv.UpperMisses, st.Misses)
+	}
+	return iv, st
+}
+
+func TestEmptyTrace(t *testing.T) {
+	prog := mustProg(t, 100, 200)
+	tr := &trace.Trace{}
+	iv, st := checkAgainstSim(t, prog, tr, testCfg, program.DefaultLayout(prog))
+	if iv.Refs != 0 || iv.Cold != 0 || iv.LowerMisses != 0 || iv.UpperMisses != 0 {
+		t.Errorf("empty trace interval not all-zero: %+v", iv)
+	}
+	if st.Refs != 0 {
+		t.Errorf("oracle disagrees: %+v", st)
+	}
+}
+
+func TestSingleProcedure(t *testing.T) {
+	prog := mustProg(t, 200)
+	tr := &trace.Trace{}
+	tr.Append(trace.Event{Proc: 0, Repeat: 5})
+	tr.Append(trace.Event{Proc: 0, Extent: 64})
+	iv, st := checkAgainstSim(t, prog, tr, testCfg, program.DefaultLayout(prog))
+	// One procedure within the cache never conflicts with itself: the
+	// interval must collapse to the exact cold misses.
+	if iv.LowerMisses != iv.UpperMisses || iv.UpperMisses != st.Misses {
+		t.Errorf("single-procedure interval did not collapse: [%d,%d] vs exact %d",
+			iv.LowerMisses, iv.UpperMisses, st.Misses)
+	}
+}
+
+func TestProcedureLargerThanCache(t *testing.T) {
+	// 3072-byte procedure in a 1024-byte cache: every full fetch evicts
+	// itself, so repeats cannot collapse and every reference misses.
+	prog := mustProg(t, 3072, 128)
+	tr := &trace.Trace{}
+	tr.Append(trace.Event{Proc: 0, Repeat: 3})
+	tr.Append(trace.Event{Proc: 1})
+	tr.Append(trace.Event{Proc: 0, Repeat: 2})
+	iv, st := checkAgainstSim(t, prog, tr, testCfg, program.DefaultLayout(prog))
+	if st.Misses != st.Refs {
+		t.Fatalf("expected a fully-thrashing run, got %+v", st)
+	}
+	if iv.UpperMisses != iv.Refs {
+		t.Errorf("upper bound %d should reach refs %d on a thrashing run", iv.UpperMisses, iv.Refs)
+	}
+	if iv.LowerMisses != iv.Refs {
+		t.Errorf("lower bound %d should reach refs %d: the whole run is always-miss", iv.LowerMisses, iv.Refs)
+	}
+}
+
+func TestNonPowerOfTwoSets(t *testing.T) {
+	// 1536 B / 32 B lines / 2-way = 24 sets: exercises the div/mod (not
+	// shift/mask) indexing on both the simulator and the analysis.
+	cfg := cache.Config{SizeBytes: 1536, LineBytes: 32, Assoc: 2}
+	prog := mustProg(t, 700, 900, 600, 400)
+	tr := &trace.Trace{}
+	for i := 0; i < 40; i++ {
+		appendClamped(tr, prog, program.ProcID(i%4), 100+(37*i)%500, i%3)
+	}
+	checkAgainstSim(t, prog, tr, cfg, program.DefaultLayout(prog))
+}
+
+func TestConflictFreePackedLayoutCollapses(t *testing.T) {
+	// Four procedures totalling 896 bytes packed into a 1024-byte cache:
+	// no set holds more than one touched line, so the analysis must prove
+	// the exact cold-miss count — a width-zero interval.
+	prog := mustProg(t, 256, 224, 256, 160)
+	tr := &trace.Trace{}
+	for i := 0; i < 200; i++ {
+		appendClamped(tr, prog, program.ProcID((i*7)%4), 32+(i*13)%200, i%4)
+	}
+	layout := program.DefaultLayout(prog)
+	iv, st := checkAgainstSim(t, prog, tr, testCfg, layout)
+	if st.Misses != st.Cold {
+		t.Fatalf("expected a conflict-free run, got %+v", st)
+	}
+	if iv.LowerMisses != iv.Cold || iv.UpperMisses != iv.Cold {
+		t.Errorf("interval [%d,%d] did not collapse to cold misses %d",
+			iv.LowerMisses, iv.UpperMisses, iv.Cold)
+	}
+	if iv.Width() != 0 {
+		t.Errorf("width %v on a conflict-free layout", iv.Width())
+	}
+}
+
+func TestAlwaysMissDetected(t *testing.T) {
+	// Two procedures mapped to the same sets, alternating: each evicts the
+	// other, so after warm-up every reference is a guaranteed miss. The
+	// analysis must prove misses == refs exactly.
+	prog := mustProg(t, 128, 896, 128)
+	tr := &trace.Trace{}
+	for i := 0; i < 50; i++ {
+		tr.Append(trace.Event{Proc: 0})
+		tr.Append(trace.Event{Proc: 2})
+	}
+	// Place a and c exactly one cache apart so they collide set for set.
+	layout := program.NewLayout(prog)
+	layout.SetAddr(0, 0)
+	layout.SetAddr(1, 128)
+	layout.SetAddr(2, 1024)
+	iv, st := checkAgainstSim(t, prog, tr, testCfg, layout)
+	if st.Misses != st.Refs {
+		t.Fatalf("expected full thrash, got %+v", st)
+	}
+	if iv.LowerMisses != st.Misses || iv.UpperMisses != st.Misses {
+		t.Errorf("interval [%d,%d] did not pin the thrashing run at %d",
+			iv.LowerMisses, iv.UpperMisses, st.Misses)
+	}
+	if iv.RefsAlwaysMiss == 0 {
+		t.Error("no references classified always-miss on a thrashing run")
+	}
+}
+
+func TestAlwaysHitDetected(t *testing.T) {
+	// A partial re-fetch of a procedure immediately after its full fetch
+	// is provably resident on every path: the full-fetch class is the only
+	// predecessor of the partial class, so its must-state guarantees the
+	// hit. (Classes fed directly by the cold start state never certify
+	// always-hit — that conservatism is what first-miss covers.)
+	prog := mustProg(t, 128, 256)
+	tr := &trace.Trace{}
+	for i := 0; i < 30; i++ {
+		tr.Append(trace.Event{Proc: 0})
+		tr.Append(trace.Event{Proc: 0, Extent: 32})
+		tr.Append(trace.Event{Proc: 1})
+	}
+	iv, _ := checkAgainstSim(t, prog, tr, testCfg, program.DefaultLayout(prog))
+	if iv.RefsAlwaysHit == 0 {
+		t.Error("no references classified always-hit on a conflict-free alternation")
+	}
+}
+
+func TestAnalyzeConcurrent(t *testing.T) {
+	prog := mustProg(t, 300, 500, 200, 400, 100)
+	tr := &trace.Trace{}
+	for i := 0; i < 300; i++ {
+		appendClamped(tr, prog, program.ProcID(i%5), 50+i%250, i%5)
+	}
+	m, err := NewModel(prog, tr, testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := program.DefaultLayout(prog)
+	want := m.Analyze(layout)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := m.Analyze(layout); got != want {
+				t.Errorf("concurrent Analyze diverged: %+v vs %+v", got, want)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestIntervalAccessors(t *testing.T) {
+	iv := Interval{Refs: 1000, Cold: 10, LowerMisses: 100, UpperMisses: 300,
+		RefsAlwaysHit: 700, RefsAlwaysMiss: 100, RefsFirstMiss: 50, RefsUnclassified: 150}
+	if iv.LowerRate() != 0.1 || iv.UpperRate() != 0.3 {
+		t.Errorf("rates: %v %v", iv.LowerRate(), iv.UpperRate())
+	}
+	if w := iv.Width(); w < 0.2-1e-12 || w > 0.2+1e-12 {
+		t.Errorf("width: %v", w)
+	}
+	if iv.ClassifiedFrac() != 0.85 {
+		t.Errorf("classified: %v", iv.ClassifiedFrac())
+	}
+	var empty Interval
+	if empty.LowerRate() != 0 || empty.UpperRate() != 0 || empty.ClassifiedFrac() != 1 {
+		t.Errorf("empty-interval accessors: %+v", empty)
+	}
+}
+
+func TestCheckIntervalMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		iv   Interval
+		rule string
+	}{
+		{"inverted", Interval{Refs: 10, LowerMisses: 5, UpperMisses: 3, RefsAlwaysHit: 10}, RuleInterval},
+		{"below-cold", Interval{Refs: 10, Cold: 2, LowerMisses: 1, UpperMisses: 5, RefsAlwaysHit: 10}, RuleInterval},
+		{"above-refs", Interval{Refs: 10, LowerMisses: 1, UpperMisses: 11, RefsAlwaysHit: 10}, RuleInterval},
+		{"census", Interval{Refs: 10, LowerMisses: 1, UpperMisses: 5, RefsAlwaysHit: 3}, RuleInterval},
+	}
+	for _, c := range cases {
+		vs := CheckInterval(c.iv)
+		if len(vs) == 0 {
+			t.Errorf("%s: no violation for %+v", c.name, c.iv)
+			continue
+		}
+		if vs[0].Rule != c.rule {
+			t.Errorf("%s: rule %q, want %q", c.name, vs[0].Rule, c.rule)
+		}
+	}
+}
+
+func TestCheckBoundsMismatches(t *testing.T) {
+	iv := Interval{Refs: 100, Cold: 5, LowerMisses: 10, UpperMisses: 50, RefsAlwaysHit: 100}
+	cases := []struct {
+		name string
+		st   cache.Stats
+		rule string
+	}{
+		{"refs", cache.Stats{Refs: 99, Misses: 20, Cold: 5}, RuleRefs},
+		{"cold", cache.Stats{Refs: 100, Misses: 20, Cold: 6}, RuleCold},
+		{"lower", cache.Stats{Refs: 100, Misses: 9, Cold: 5}, RuleLower},
+		{"upper", cache.Stats{Refs: 100, Misses: 51, Cold: 5}, RuleUpper},
+	}
+	for _, c := range cases {
+		vs := CheckBounds(iv, c.st)
+		if len(vs) != 1 || vs[0].Rule != c.rule {
+			t.Errorf("%s: got %v, want single %q", c.name, vs, c.rule)
+		}
+	}
+	if vs := CheckBounds(iv, cache.Stats{Refs: 100, Misses: 20, Cold: 5}); len(vs) != 0 {
+		t.Errorf("clean stats flagged: %v", vs)
+	}
+}

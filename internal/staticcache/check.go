@@ -1,0 +1,86 @@
+package staticcache
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/invariant"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// Violation rules reported by CheckBounds. They plug into the
+// internal/invariant enforcement machinery (fatal/warn/off modes) exactly
+// like the layout and TRG rules.
+const (
+	// RuleInterval: the interval itself is malformed (lower above upper,
+	// negative counts, bounds outside [cold, refs]).
+	RuleInterval = "static-interval"
+	// RuleRefs: the model's reference count disagrees with a simulated
+	// run — the placement arithmetic diverged from the simulator's.
+	RuleRefs = "static-refs"
+	// RuleCold: the model's compulsory miss count disagrees with a
+	// simulated run.
+	RuleCold = "static-cold"
+	// RuleLower / RuleUpper: a simulated miss count escaped the interval —
+	// the analysis is unsound for this input.
+	RuleLower = "static-lower"
+	RuleUpper = "static-upper"
+)
+
+// CheckInterval validates the interval's internal consistency: bounds
+// ordered, within [Cold, Refs], census summing to Refs.
+func CheckInterval(iv Interval) []invariant.Violation {
+	var vs []invariant.Violation
+	add := func(rule, format string, args ...any) {
+		vs = append(vs, invariant.Violation{Rule: rule, Detail: fmt.Sprintf(format, args...)})
+	}
+	if iv.LowerMisses > iv.UpperMisses {
+		add(RuleInterval, "lower %d above upper %d", iv.LowerMisses, iv.UpperMisses)
+	}
+	if iv.LowerMisses < iv.Cold {
+		add(RuleInterval, "lower %d below cold misses %d", iv.LowerMisses, iv.Cold)
+	}
+	if iv.UpperMisses > iv.Refs {
+		add(RuleInterval, "upper %d above refs %d", iv.UpperMisses, iv.Refs)
+	}
+	if sum := iv.RefsAlwaysHit + iv.RefsAlwaysMiss + iv.RefsFirstMiss + iv.RefsUnclassified; sum != iv.Refs {
+		add(RuleInterval, "classification census %d does not sum to refs %d", sum, iv.Refs)
+	}
+	return vs
+}
+
+// CheckBounds validates the interval against an exact simulation of the
+// same (layout, trace, geometry): the simulated statistics must match the
+// model's exact counts and sit inside the bounds. An empty slice means the
+// interval is sound for this run.
+func CheckBounds(iv Interval, st cache.Stats) []invariant.Violation {
+	vs := CheckInterval(iv)
+	add := func(rule, format string, args ...any) {
+		vs = append(vs, invariant.Violation{Rule: rule, Detail: fmt.Sprintf(format, args...)})
+	}
+	if iv.Refs != st.Refs {
+		add(RuleRefs, "model refs %d, simulated %d", iv.Refs, st.Refs)
+	}
+	if iv.Cold != st.Cold {
+		add(RuleCold, "model cold misses %d, simulated %d", iv.Cold, st.Cold)
+	}
+	if st.Misses < iv.LowerMisses {
+		add(RuleLower, "simulated misses %d below lower bound %d", st.Misses, iv.LowerMisses)
+	}
+	if st.Misses > iv.UpperMisses {
+		add(RuleUpper, "simulated misses %d above upper bound %d", st.Misses, iv.UpperMisses)
+	}
+	return vs
+}
+
+// Bounds is the one-shot convenience entry: model (prog, tr) under cfg and
+// analyze one layout. Sweeps analyzing many layouts should build the Model
+// once and call Analyze per layout instead.
+func Bounds(prog *program.Program, tr *trace.Trace, cfg cache.Config, layout *program.Layout) (Interval, error) {
+	m, err := NewModel(prog, tr, cfg)
+	if err != nil {
+		return Interval{}, err
+	}
+	return m.Analyze(layout), nil
+}

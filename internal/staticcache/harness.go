@@ -1,0 +1,286 @@
+package staticcache
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/anneal"
+	"repro/internal/baseline"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/popular"
+	"repro/internal/program"
+	"repro/internal/sample"
+	"repro/internal/split"
+	"repro/internal/trace"
+	"repro/internal/trg"
+	"repro/internal/wcg"
+)
+
+// This file is the analysis's soundness harness: randomized programs × the
+// seven placement algorithms × a spread of cache geometries, static
+// interval vs the exact cache.RunTrace oracle on every cell. Unlike the
+// sampled estimator's accuracy harness (internal/sample), which measures
+// error, this one tolerates none: a single simulated miss count outside its
+// interval, or a refs/cold mismatch, is a soundness bug. The package tests
+// and the CI gate both run it and require zero violations.
+
+// HarnessGeometries is the default geometry spread: the paper's small
+// direct-mapped shape, 2-way and 4-way LRU, and a non-power-of-two set
+// count (48 lines, 24 sets) exercising the div/mod indexing path.
+var HarnessGeometries = []cache.Config{
+	{SizeBytes: 1024, LineBytes: 32, Assoc: 1},
+	{SizeBytes: 1024, LineBytes: 32, Assoc: 2},
+	{SizeBytes: 2048, LineBytes: 32, Assoc: 4},
+	{SizeBytes: 1536, LineBytes: 32, Assoc: 2},
+}
+
+// HarnessOptions configures a soundness run.
+type HarnessOptions struct {
+	// Seeds is the number of randomized programs (default 3).
+	Seeds int
+	// Events is the trace length per program (default 4000).
+	Events int
+	// Procs is the program size in procedures (default 24).
+	Procs int
+	// Geometries lists the cache shapes every layout is checked under
+	// (default HarnessGeometries).
+	Geometries []cache.Config
+}
+
+func (o *HarnessOptions) setDefaults() {
+	if o.Seeds == 0 {
+		o.Seeds = 3
+	}
+	if o.Events == 0 {
+		o.Events = 4000
+	}
+	if o.Procs == 0 {
+		o.Procs = 24
+	}
+	if len(o.Geometries) == 0 {
+		o.Geometries = HarnessGeometries
+	}
+}
+
+// HarnessCell is one (program seed, algorithm, geometry) check.
+type HarnessCell struct {
+	Seed     int64
+	Alg      string
+	Geometry cache.Config
+	Exact    cache.Stats
+	Interval Interval
+	// Violations is empty when the interval soundly brackets the exact
+	// run; otherwise it names every broken bound.
+	Violations []string
+}
+
+// Sound reports whether the cell's interval held.
+func (c HarnessCell) Sound() bool { return len(c.Violations) == 0 }
+
+// HarnessResult aggregates all cells of a run.
+type HarnessResult struct {
+	Cells []HarnessCell
+}
+
+// Unsound returns the cells whose intervals failed.
+func (r *HarnessResult) Unsound() []HarnessCell {
+	var out []HarnessCell
+	for _, c := range r.Cells {
+		if !c.Sound() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// MeanWidth returns the mean interval width in miss-rate units — the
+// tightness the soundness guarantee costs.
+func (r *HarnessResult) MeanWidth() float64 {
+	if len(r.Cells) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range r.Cells {
+		sum += c.Interval.Width()
+	}
+	return sum / float64(len(r.Cells))
+}
+
+// MeanClassified returns the mean classified-reference fraction.
+func (r *HarnessResult) MeanClassified() float64 {
+	if len(r.Cells) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range r.Cells {
+		sum += c.Interval.ClassifiedFrac()
+	}
+	return sum / float64(len(r.Cells))
+}
+
+// HarnessAlgorithms lists the seven placement algorithms every harness
+// seed runs — the same family the sampled-accuracy and invariant
+// round-trip suites cover.
+var HarnessAlgorithms = []string{"default", "ph", "hkc", "gbsc", "pagelocal", "anneal", "split"}
+
+// RunHarness executes the soundness harness: for each seed it synthesizes
+// a random phased program+trace, places it with every algorithm, and
+// checks the static interval against the exact RunTrace oracle on every
+// layout under every geometry.
+func RunHarness(o HarnessOptions) (*HarnessResult, error) {
+	o.setDefaults()
+	// Every seed is self-contained (its own RNG, program, trace, and
+	// placements), so seeds fan out across a worker pool; partials are
+	// stitched back in seed order, keeping the cell stream byte-identical
+	// to a serial run at any worker count. The CI gate runs 200 seeds
+	// under -race, which would blow the go test timeout single-threaded.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > o.Seeds {
+		workers = o.Seeds
+	}
+	partials := make([]*HarnessResult, o.Seeds)
+	errs := make([]error, o.Seeds)
+	seedCh := make(chan int64)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range seedCh {
+				part := &HarnessResult{}
+				if err := harnessSeed(o, seed, part); err != nil {
+					errs[seed-1] = fmt.Errorf("staticcache harness seed %d: %w", seed, err)
+					continue
+				}
+				partials[seed-1] = part
+			}
+		}()
+	}
+	for seed := int64(1); seed <= int64(o.Seeds); seed++ {
+		seedCh <- seed
+	}
+	close(seedCh)
+	wg.Wait()
+	res := &HarnessResult{}
+	for i, part := range partials {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		res.Cells = append(res.Cells, part.Cells...)
+	}
+	return res, nil
+}
+
+func harnessSeed(o HarnessOptions, seed int64, res *HarnessResult) error {
+	rng := rand.New(rand.NewSource(seed))
+	prog := harnessProgram(rng, o.Procs)
+	tr := sample.PhasedTrace(rng, prog, o.Events)
+	// Placement runs against the first geometry; the checks run against
+	// all of them (a layout is a layout — soundness cannot depend on which
+	// geometry the placer optimized for).
+	cfg := o.Geometries[0]
+	pop := popular.Select(prog, tr, popular.Options{})
+	tres, err := trg.Build(prog, tr, trg.Options{CacheBytes: cfg.SizeBytes, Popular: pop})
+	if err != nil {
+		return err
+	}
+
+	type placed struct {
+		alg    string
+		prog   *program.Program
+		layout *program.Layout
+		tr     *trace.Trace
+	}
+	var layouts []placed
+	add := func(alg string, l *program.Layout, err error) error {
+		if err != nil {
+			return fmt.Errorf("%s: %w", alg, err)
+		}
+		layouts = append(layouts, placed{alg, prog, l, tr})
+		return nil
+	}
+	if err := add("default", program.DefaultLayout(prog), nil); err != nil {
+		return err
+	}
+	phl, err := baseline.PHLayout(prog, wcg.Build(tr))
+	if err := add("ph", phl, err); err != nil {
+		return err
+	}
+	hkcl, err := baseline.HKC(prog, wcg.BuildFiltered(tr, pop.Contains), pop, cfg)
+	if err := add("hkc", hkcl, err); err != nil {
+		return err
+	}
+	gl, err := core.Place(prog, tres, pop, cfg)
+	if err := add("gbsc", gl, err); err != nil {
+		return err
+	}
+	pgl, err := core.PlacePageAware(prog, tres, pop, cfg)
+	if err := add("pagelocal", pgl, err); err != nil {
+		return err
+	}
+	al, err := anneal.Place(prog, tres, pop, cfg, anneal.Options{Steps: 300, Seed: seed})
+	if err := add("anneal", al, err); err != nil {
+		return err
+	}
+	// Splitting transforms the program and trace; its cell is checked on
+	// the transformed pair.
+	sp, err := split.Split(prog, tr, split.Options{Align: cfg.LineBytes})
+	if err != nil {
+		return fmt.Errorf("split: %w", err)
+	}
+	str, err := sp.TransformTrace(prog, tr)
+	if err != nil {
+		return fmt.Errorf("split: %w", err)
+	}
+	spop := popular.Select(sp.Prog, str, popular.Options{})
+	sres, err := trg.Build(sp.Prog, str, trg.Options{CacheBytes: cfg.SizeBytes, Popular: spop})
+	if err != nil {
+		return fmt.Errorf("split: %w", err)
+	}
+	sl, err := core.Place(sp.Prog, sres, spop, cfg)
+	if err != nil {
+		return fmt.Errorf("split: %w", err)
+	}
+	layouts = append(layouts, placed{"split", sp.Prog, sl, str})
+
+	for _, geo := range o.Geometries {
+		sim := cache.MustNewSim(geo)
+		// One model per (program pair, geometry), shared by the seven
+		// layouts of that pair — the sweep-shaped reuse Analyze is for.
+		models := map[*trace.Trace]*Model{}
+		for _, pl := range layouts {
+			model := models[pl.tr]
+			if model == nil {
+				model, err = NewModel(pl.prog, pl.tr, geo)
+				if err != nil {
+					return err
+				}
+				models[pl.tr] = model
+			}
+			exact := sim.RunTrace(pl.layout, pl.tr)
+			iv := model.Analyze(pl.layout)
+			cell := HarnessCell{Seed: seed, Alg: pl.alg, Geometry: geo, Exact: exact, Interval: iv}
+			for _, v := range CheckBounds(iv, exact) {
+				cell.Violations = append(cell.Violations, v.String())
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return nil
+}
+
+// harnessProgram synthesizes n procedures with sizes in [32, 512), the
+// same shape the sampled-accuracy harness uses.
+func harnessProgram(rng *rand.Rand, n int) *program.Program {
+	procs := make([]program.Procedure, n)
+	for i := range procs {
+		procs[i] = program.Procedure{
+			Name: fmt.Sprintf("h%03d", i),
+			Size: 32 + rng.Intn(480),
+		}
+	}
+	return program.MustNew(procs)
+}

@@ -1,0 +1,87 @@
+package staticcache
+
+import (
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+// TestHarnessSoundness is the zero-tolerance soundness gate: randomized
+// programs × the seven placement algorithms × the default geometry spread
+// (direct-mapped, 2-way, 4-way, non-power-of-two sets), every cell's exact
+// run inside its static interval. CI scales the seed count up through
+// STATICCACHE_SEEDS (the workflow runs ≥200 under -race); the in-tree
+// default keeps `go test ./...` fast.
+func TestHarnessSoundness(t *testing.T) {
+	seeds := 6
+	if s := os.Getenv("STATICCACHE_SEEDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad STATICCACHE_SEEDS=%q", s)
+		}
+		seeds = n
+	}
+	res, err := RunHarness(HarnessOptions{Seeds: seeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seeds * len(HarnessAlgorithms) * len(HarnessGeometries)
+	if len(res.Cells) != want {
+		t.Fatalf("cells: %d, want %d", len(res.Cells), want)
+	}
+	for _, c := range res.Unsound() {
+		t.Errorf("seed %d %s %+v: %v (exact misses %d, interval [%d, %d])",
+			c.Seed, c.Alg, c.Geometry, c.Violations,
+			c.Exact.Misses, c.Interval.LowerMisses, c.Interval.UpperMisses)
+	}
+	t.Logf("seeds %d: %d cells sound, mean width %.4f, mean classified %.1f%%",
+		seeds, len(res.Cells), res.MeanWidth(), 100*res.MeanClassified())
+}
+
+// TestHarnessDeterministic pins the worker-pool fan-out: two runs must
+// produce identical cell streams (seed-ordered, scheduling-independent).
+func TestHarnessDeterministic(t *testing.T) {
+	opts := HarnessOptions{Seeds: 3, Events: 1500, Procs: 12}
+	a, err := RunHarness(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunHarness(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two harness runs disagree; the seed fan-out leaked scheduling order")
+	}
+	for i := 1; i < len(a.Cells); i++ {
+		if a.Cells[i].Seed < a.Cells[i-1].Seed {
+			t.Fatalf("cells out of seed order at %d: %d after %d", i, a.Cells[i].Seed, a.Cells[i-1].Seed)
+		}
+	}
+}
+
+func TestHarnessGeometriesIncludeNonPowerOfTwo(t *testing.T) {
+	nonPow2 := false
+	for _, g := range HarnessGeometries {
+		if err := g.Validate(); err != nil {
+			t.Errorf("invalid default geometry %+v: %v", g, err)
+		}
+		if s := g.NumSets(); s&(s-1) != 0 {
+			nonPow2 = true
+		}
+	}
+	if !nonPow2 {
+		t.Error("default geometry spread lost its non-power-of-two set count")
+	}
+	if len(HarnessGeometries) < 4 {
+		t.Errorf("geometry spread shrank to %d shapes; the gate requires ≥4", len(HarnessGeometries))
+	}
+}
+
+func TestHarnessResultAccessorsEmpty(t *testing.T) {
+	var r HarnessResult
+	if r.MeanWidth() != 0 || r.MeanClassified() != 0 || len(r.Unsound()) != 0 {
+		t.Errorf("empty-result accessors: %+v", r)
+	}
+}

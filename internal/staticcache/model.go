@@ -1,0 +1,152 @@
+// Package staticcache bounds a layout's cache behaviour without replaying
+// the trace: a must/may abstract interpretation over the trace's activation
+// structure yields a sound interval [LowerMisses, UpperMisses] on the miss
+// count of cache.RunTrace for any direct-mapped or k-way-LRU geometry, and
+// classifies every placed (activation, line) reference slot as always-hit,
+// always-miss, first-miss, or unclassified.
+//
+// The analysis splits into a layout-independent Model — the activation
+// classes of one (program, trace) pair and the temporal-adjacency edges
+// between them — and a per-layout Analyze pass that places the classes,
+// runs the abstract fixpoint, and counts the bounds. One Model is shared by
+// every candidate layout of a sweep, mirroring how cache.CompileTrace is
+// shared by every replay.
+//
+// Soundness rests on two facts. First, the concrete execution is one path
+// through the class graph (classes appear exactly in trace order, and every
+// consecutive pair contributes an edge), so a join-over-all-edges fixpoint
+// over-approximates the may state and under-approximates the must state at
+// every activation entry. Second, the per-class execution counts are taken
+// from the trace itself, so classified slots convert to exact miss-event
+// counts rather than rates. See DESIGN.md §4f for the domain definitions
+// and the proof sketch.
+package staticcache
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// node is one activation class: every trace event with the same procedure
+// and the same effective extent. All members fetch the same line sequence
+// under any given layout, so they share entry states, classification, and
+// placed span; only their counts differ.
+type node struct {
+	proc program.ProcID
+	ext  int32 // effective extent in bytes (≥ 1, trace.Event.ExtentBytes)
+	// events counts the class's activations; execs additionally weights
+	// them by their repeat counts (Σ Repeats — the number of times the
+	// line sequence is fetched end to end).
+	events int64
+	execs  int64
+	// selfSeq records that two consecutive trace events belong to this
+	// class, selfRep that some member repeats (Repeat > 1). Either can
+	// require the self edge during the fixpoint; selfRep alone is waived
+	// when the placed span is self-conflict-free (see analyze.go).
+	selfSeq bool
+	selfRep bool
+}
+
+// Model is the layout-independent half of the analysis: the activation
+// classes of one (program, trace) pair under one cache geometry, with the
+// temporal-adjacency edges observed between them. Build it once with
+// NewModel and call Analyze per candidate layout.
+//
+// A Model is immutable after NewModel returns and is safe for concurrent
+// Analyze calls.
+type Model struct {
+	prog *program.Program
+	cfg  cache.Config
+
+	nodes []node
+	// succs[n] lists the distinct successor classes of n in first-
+	// appearance order, excluding n itself (self adjacency is tracked by
+	// node.selfSeq/selfRep so the fixpoint can waive it per layout).
+	succs [][]int32
+	// start is the entry class (the first trace event's class), or -1 for
+	// an empty trace. The fixpoint seeds it with the empty-cache state.
+	start int32
+	// totalEvents and totalRefsNoLayout cache trace-wide counts for
+	// reporting (refs depend on the layout; events do not).
+	totalEvents int64
+}
+
+// NewModel compiles the activation classes and adjacency edges of tr
+// against prog for the given cache geometry. The trace must reference
+// valid procedures of prog (trace.Trace.Validate) and cfg must be valid.
+func NewModel(prog *program.Program, tr *trace.Trace, cfg cache.Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(prog); err != nil {
+		return nil, fmt.Errorf("staticcache: %w", err)
+	}
+	m := &Model{prog: prog, cfg: cfg, start: -1}
+
+	type key struct {
+		proc program.ProcID
+		ext  int32
+	}
+	// Class IDs are assigned by first appearance in the trace, so the
+	// model — like every artifact in the pipeline — is a deterministic
+	// function of its inputs. The map is lookup-only.
+	ids := map[key]int32{}
+	// Edge dedup per source class: seen[s] holds the successor set already
+	// recorded for s. Lookup-only; succs keeps first-appearance order.
+	seen := map[int64]struct{}{}
+
+	prev := int32(-1)
+	for _, e := range tr.Events {
+		k := key{e.Proc, int32(e.ExtentBytes(prog))}
+		id, ok := ids[k]
+		if !ok {
+			id = int32(len(m.nodes))
+			ids[k] = id
+			m.nodes = append(m.nodes, node{proc: k.proc, ext: k.ext})
+			m.succs = append(m.succs, nil)
+		}
+		n := &m.nodes[id]
+		reps := int64(e.Repeats())
+		n.events++
+		n.execs += reps
+		if reps > 1 {
+			n.selfRep = true
+		}
+		m.totalEvents++
+
+		if prev < 0 {
+			m.start = id
+		} else if prev == id {
+			m.nodes[id].selfSeq = true
+		} else {
+			ek := int64(prev)<<32 | int64(id)
+			if _, dup := seen[ek]; !dup {
+				seen[ek] = struct{}{}
+				m.succs[prev] = append(m.succs[prev], id)
+			}
+		}
+		prev = id
+	}
+	return m, nil
+}
+
+// NumClasses returns the number of activation classes in the model.
+func (m *Model) NumClasses() int { return len(m.nodes) }
+
+// NumEdges returns the number of distinct non-self adjacency edges.
+func (m *Model) NumEdges() int {
+	n := 0
+	for _, s := range m.succs {
+		n += len(s)
+	}
+	return n
+}
+
+// Config returns the cache geometry the model analyzes.
+func (m *Model) Config() cache.Config { return m.cfg }
+
+// Program returns the program the model was compiled against.
+func (m *Model) Program() *program.Program { return m.prog }

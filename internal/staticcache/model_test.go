@@ -1,0 +1,108 @@
+package staticcache
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+func TestModelClassesAndEdges(t *testing.T) {
+	prog := mustProg(t, 100, 200, 300)
+	tr := &trace.Trace{}
+	tr.Append(trace.Event{Proc: 0})            // class 0
+	tr.Append(trace.Event{Proc: 1})            // class 1
+	tr.Append(trace.Event{Proc: 0})            // class 0 again
+	tr.Append(trace.Event{Proc: 0, Extent: 5}) // class 2 (different extent)
+	tr.Append(trace.Event{Proc: 1, Repeat: 4}) // class 1, repeated
+	tr.Append(trace.Event{Proc: 1, Repeat: 2}) // class 1, consecutive
+	m, err := NewModel(prog, tr, testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumClasses() != 3 {
+		t.Fatalf("classes: %d, want 3", m.NumClasses())
+	}
+	// Edges: 0→1, 1→0, 0→2, 2→1 — plus the 1→1 self adjacency tracked on
+	// the node, not in succs.
+	if m.NumEdges() != 4 {
+		t.Errorf("edges: %d, want 4", m.NumEdges())
+	}
+	n1 := m.nodes[1]
+	if n1.events != 3 || n1.execs != 1+4+2 {
+		t.Errorf("class 1 counts: events %d execs %d", n1.events, n1.execs)
+	}
+	if !n1.selfSeq || !n1.selfRep {
+		t.Errorf("class 1 self adjacency: seq %v rep %v", n1.selfSeq, n1.selfRep)
+	}
+	if n0 := m.nodes[0]; n0.selfSeq || n0.selfRep {
+		t.Errorf("class 0 has spurious self adjacency: %+v", n0)
+	}
+	if m.Config() != testCfg || m.Program() != prog {
+		t.Error("accessors disagree with construction")
+	}
+}
+
+func TestModelDeterministic(t *testing.T) {
+	prog := mustProg(t, 300, 500, 200)
+	tr := &trace.Trace{}
+	for i := 0; i < 100; i++ {
+		appendClamped(tr, prog, program.ProcID(i%3), 30+i%200, i%4)
+	}
+	a, err := NewModel(prog, tr, testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewModel(prog, tr, testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumClasses() != b.NumClasses() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("model shape diverged across identical builds")
+	}
+	layout := program.DefaultLayout(prog)
+	if ia, ib := a.Analyze(layout), b.Analyze(layout); ia != ib {
+		t.Errorf("analysis diverged across identical builds: %+v vs %+v", ia, ib)
+	}
+}
+
+func TestNewModelRejectsBadInputs(t *testing.T) {
+	prog := mustProg(t, 100)
+	tr := &trace.Trace{}
+	tr.Append(trace.Event{Proc: 0})
+	if _, err := NewModel(prog, tr, cache.Config{SizeBytes: 100, LineBytes: 32, Assoc: 1}); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+	bad := &trace.Trace{}
+	bad.Append(trace.Event{Proc: 7})
+	if _, err := NewModel(prog, bad, testCfg); err == nil {
+		t.Error("trace referencing an unknown procedure accepted")
+	}
+}
+
+func TestAnalyzeRejectsForeignLayout(t *testing.T) {
+	prog := mustProg(t, 100)
+	other := mustProg(t, 100)
+	tr := &trace.Trace{}
+	tr.Append(trace.Event{Proc: 0})
+	m, err := NewModel(prog, tr, testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Analyze accepted a layout of a different program")
+		}
+	}()
+	m.Analyze(program.DefaultLayout(other))
+}
+
+func TestBoundsPropagatesErrors(t *testing.T) {
+	prog := mustProg(t, 100)
+	bad := &trace.Trace{}
+	bad.Append(trace.Event{Proc: 3})
+	if _, err := Bounds(prog, bad, testCfg, program.DefaultLayout(prog)); err == nil {
+		t.Error("Bounds accepted an invalid trace")
+	}
+}

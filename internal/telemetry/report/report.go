@@ -369,9 +369,11 @@ func equalBuckets(a, b []int64) bool {
 // sortedKeys returns the sorted union of both maps' keys.
 func sortedKeys[V any](a, b map[string]V) []string {
 	set := map[string]bool{}
+	// repolint:allow nodeterm/maporder: set insertion is commutative, union sorted before use
 	for k := range a {
 		set[k] = true
 	}
+	// repolint:allow nodeterm/maporder: same commutative set insertion.
 	for k := range b {
 		set[k] = true
 	}

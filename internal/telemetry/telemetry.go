@@ -152,6 +152,10 @@ func (s *Shard) Time(name string) func() {
 	if s == nil {
 		return func() {}
 	}
+	// Timers measure wall clock by design; the determinism contract covers
+	// counters and histograms, and the run-report comparator ignores
+	// timer values.
+	// repolint:allow nodeterm/time: intentional wall-clock timer
 	start := time.Now()
 	return func() { s.AddDuration(name, time.Since(start)) }
 }
@@ -210,9 +214,11 @@ func (r *Registry) Snapshot() *Snapshot {
 	r.mu.Unlock()
 	for _, s := range shards {
 		s.mu.Lock()
+		// repolint:allow nodeterm/maporder: keyed += merge is commutative
 		for name, v := range s.counters {
 			snap.Counters[name] += v
 		}
+		// repolint:allow nodeterm/maporder: keyed count/total/max merge is commutative
 		for name, t := range s.timers {
 			m := snap.Timers[name]
 			m.Count += t.count
@@ -222,6 +228,7 @@ func (r *Registry) Snapshot() *Snapshot {
 			}
 			snap.Timers[name] = m
 		}
+		// repolint:allow nodeterm/maporder: keyed bucket-sum merge is commutative
 		for name, h := range s.hists {
 			m, ok := snap.Histograms[name]
 			if !ok {
@@ -236,6 +243,7 @@ func (r *Registry) Snapshot() *Snapshot {
 		}
 		s.mu.Unlock()
 	}
+	// repolint:allow nodeterm/maporder: independent per-key rewrite, no cross-key state
 	for name, h := range snap.Histograms {
 		h.Buckets = trimTrailingZeros(h.Buckets)
 		snap.Histograms[name] = h

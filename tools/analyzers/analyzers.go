@@ -53,13 +53,23 @@ type Pass struct {
 	Info  *types.Info
 
 	diags []Diagnostic
-	allow map[allowKey]bool
+	allow map[allowKey]*allowEntry
 }
 
 type allowKey struct {
 	file string
 	line int
 	rule string
+}
+
+// allowEntry is one rule named by one repolint:allow comment. Both the
+// comment's own line and (for standalone comments) the line below map to
+// the same entry, so the stalallow analyzer can tell whether the comment
+// suppressed anything at all.
+type allowEntry struct {
+	pos  token.Position // the comment, where staleness is reported
+	rule string
+	used bool
 }
 
 // Reportf records a finding unless an allow comment on the same or the
@@ -80,15 +90,20 @@ func (p *Pass) allowed(pos token.Position, rule string) bool {
 	if p.allow == nil {
 		p.allow = collectAllows(p.Fset, p.Files)
 	}
-	return p.allow[allowKey{pos.Filename, pos.Line, rule}]
+	e := p.allow[allowKey{pos.Filename, pos.Line, rule}]
+	if e == nil {
+		return false
+	}
+	e.used = true
+	return true
 }
 
 // collectAllows indexes every "repolint:allow rule1,rule2" comment by file
 // and line. A trailing comment suppresses matching findings on its own
 // line; a standalone comment (no code on its line) additionally covers the
 // line directly below it.
-func collectAllows(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
-	allow := map[allowKey]bool{}
+func collectAllows(fset *token.FileSet, files []*ast.File) map[allowKey]*allowEntry {
+	allow := map[allowKey]*allowEntry{}
 	for _, f := range files {
 		code := codeLines(fset, f)
 		for _, cg := range f.Comments {
@@ -107,9 +122,10 @@ func collectAllows(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
 				for _, rule := range strings.FieldsFunc(text, func(r rune) bool {
 					return r == ',' || r == ' ' || r == '\t'
 				}) {
-					allow[allowKey{pos.Filename, pos.Line, rule}] = true
+					e := &allowEntry{pos: pos, rule: rule}
+					allow[allowKey{pos.Filename, pos.Line, rule}] = e
 					if !code[pos.Line] {
-						allow[allowKey{pos.Filename, pos.Line + 1, rule}] = true
+						allow[allowKey{pos.Filename, pos.Line + 1, rule}] = e
 					}
 				}
 			}
@@ -144,8 +160,13 @@ type Analyzer struct {
 	Run     func(p *Pass)
 }
 
+// primary are the analyzers that inspect the code itself. StalAllow runs
+// after them (it audits their suppression comments), so it is appended
+// last — Run executes analyzers in order.
+var primary = []*Analyzer{NoDeterm, RunErr, TraceReplay}
+
 // All is the suite cmd/repolint runs.
-var All = []*Analyzer{NoDeterm, RunErr, TraceReplay}
+var All = []*Analyzer{NoDeterm, RunErr, TraceReplay, StalAllow}
 
 // Applies reports whether any analyzer in as claims the package path.
 func Applies(as []*Analyzer, path string) bool {

@@ -41,19 +41,25 @@ func A() int64 { return time.Now().Unix() }
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(diags) != 1 || diags[0].Rule != "nodeterm/time" {
-		t.Fatalf("wrong-rule allow comment suppressed the finding: %v", diags)
+	if len(diags) != 2 || diags[0].Rule != "stalallow/unused" || diags[1].Rule != "nodeterm/time" {
+		t.Fatalf("wrong-rule allow comment must leave the finding and be flagged stale: %v", diags)
 	}
 }
 
 func TestScopeFilter(t *testing.T) {
-	if NoDeterm.Applies("repro/internal/cache") {
-		t.Error("nodeterm must not apply to the simulator package")
+	if NoDeterm.Applies("repro/internal/program") {
+		t.Error("nodeterm must not apply outside the pipeline scope")
 	}
 	if !NoDeterm.Applies("repro/internal/trg") || !NoDeterm.Applies("repro/internal/experiments") {
 		t.Error("nodeterm must apply to the pipeline packages")
 	}
 	if !RunErr.Applies("repro/cmd/layout") || RunErr.Applies("repro/internal/core") {
 		t.Error("runerr scope wrong")
+	}
+	if !NoDeterm.Applies("repro/internal/staticcache") || !NoDeterm.Applies("repro/internal/telemetry") {
+		t.Error("nodeterm must cover the analysis and telemetry packages")
+	}
+	if !StalAllow.Applies("repro/internal/core") || StalAllow.Applies("repro/internal/program") {
+		t.Error("stalallow must audit exactly the packages the primary analyzers cover")
 	}
 }

@@ -15,6 +15,10 @@ var nodetermScope = []string{
 	"repro/internal/place",
 	"repro/internal/wcg",
 	"repro/internal/experiments",
+	"repro/internal/cache",
+	"repro/internal/sample",
+	"repro/internal/staticcache",
+	"repro/internal/telemetry",
 }
 
 // NoDeterm flags nondeterminism sources in the deterministic pipeline

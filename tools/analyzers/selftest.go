@@ -107,14 +107,51 @@ func Keys(m map[string]int) []string {
 	},
 	{
 		name: "time.Now outside the determinism scope is legal",
-		path: "repro/internal/telemetry",
-		files: map[string]string{"fixture.go": `package telemetry
+		path: "repro/internal/tracegen",
+		files: map[string]string{"fixture.go": `package tracegen
 
 import "time"
 
 func Stamp() time.Time { return time.Now() }
 `},
 		forbid: []string{"nodeterm/time"},
+	},
+	{
+		name: "stale allow comments are flagged, used ones are not",
+		path: "repro/internal/core",
+		files: map[string]string{"fixture.go": `package core
+
+import "time"
+
+// repolint:allow nodeterm/time: timer fixture
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// repolint:allow nodeterm/rand: nothing random below anymore
+func Fixed() int { return 4 }
+
+func Sum(xs []int) int { // repolint:allow nodeterm/maporder: slice range was once a map
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+`},
+		want: [][2]string{
+			{"stalallow/unused", "nodeterm/rand"},
+			{"stalallow/unused", "nodeterm/maporder"},
+		},
+		forbid: []string{"nodeterm/time"},
+	},
+	{
+		name: "an acknowledged stale allow is itself allowable",
+		path: "repro/internal/core",
+		files: map[string]string{"fixture.go": `package core
+
+// repolint:allow nodeterm/rand, stalallow/unused: kept while the rand path is behind a build tag
+func Fixed() int { return 4 }
+`},
+		forbid: []string{"stalallow/unused"},
 	},
 	{
 		name: "direct Events iteration in an experiment driver",

@@ -1,0 +1,62 @@
+package analyzers
+
+import "sort"
+
+// StalAllow flags repolint:allow comments that no longer suppress
+// anything: the named rule produced no diagnostic on the comment's line
+// (or, for a standalone comment, the line below). A stale allow is worse
+// than noise — it documents a considered exception that no longer exists,
+// and it would silently swallow a future, unrelated finding landing on the
+// same line. It must be listed after every code-inspecting analyzer in
+// All, since an allow comment is only provably unused once all the rules
+// it could suppress have run.
+var StalAllow = &Analyzer{
+	Name: "stalallow",
+	Doc:  "flag repolint:allow comments whose named rule no longer fires on that line",
+	// The audit applies exactly where some primary analyzer looks; an
+	// allow comment elsewhere is outside the lint surface entirely.
+	Applies: func(path string) bool { return Applies(primary, path) },
+	Run:     runStalAllow,
+}
+
+func runStalAllow(p *Pass) {
+	if p.allow == nil {
+		p.allow = collectAllows(p.Fset, p.Files)
+	}
+	// The map holds one entry per (comment, rule), aliased under every
+	// line it covers: dedup by pointer, then report in position order so
+	// the self-referential case (an allow comment suppressing a stalallow
+	// finding on its own line) resolves deterministically.
+	seen := map[*allowEntry]bool{}
+	var stale []*allowEntry
+	for _, e := range p.allow {
+		if !seen[e] {
+			seen[e] = true
+			stale = append(stale, e)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		a, b := stale[i], stale[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		return a.rule < b.rule
+	})
+	for _, e := range stale {
+		// Re-check: an earlier report in this loop may have been
+		// suppressed by this very entry, using it. Staleness reports
+		// anchor at the comment itself, so the usual allow machinery
+		// applies to them too (marking that entry used in turn).
+		if e.used || p.allowed(e.pos, "stalallow/unused") {
+			continue
+		}
+		p.diags = append(p.diags, Diagnostic{
+			Pos:  e.pos,
+			Rule: "stalallow/unused",
+			Msg:  "repolint:allow " + e.rule + " suppresses nothing here; remove the stale comment",
+		})
+	}
+}
