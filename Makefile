@@ -66,6 +66,12 @@ SAMPLE_BENCHES = ^(BenchmarkSampledFigure5|BenchmarkSamplePlan|BenchmarkExactMis
 # the staticbounds experiment grid end to end.
 STATIC_BENCHES = ^(BenchmarkStaticModel|BenchmarkStaticAnalyze|BenchmarkStaticExactReplay|BenchmarkStaticBoundsGrid)$$
 
+# Incremental re-placement (BENCH_incr.json): one delta-driven engine
+# Update on the drifted paper-scale perl profile vs the from-scratch GBSC
+# run it replaces. The acceptance headline is Incremental ≥5× faster than
+# Scratch at ≤5% select-weight drift (the fixture reports its drift%).
+INCR_BENCHES = ^(BenchmarkIncrementalReplace|BenchmarkScratchReplace)$$
+
 bench-json:
 	$(GO) test -run '^$$' -bench '$(GBSC_BENCHES)' -benchmem \
 		-benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_gbsc.json
@@ -75,6 +81,8 @@ bench-json:
 		-benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_sample.json
 	$(GO) test -run '^$$' -bench '$(STATIC_BENCHES)' -benchmem \
 		-benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_static.json
+	$(GO) test -run '^$$' -bench '$(INCR_BENCHES)' -benchmem \
+		-benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_incr.json
 
 # Regenerate the full paper evaluation (EXPERIMENTS.md numbers).
 experiments:

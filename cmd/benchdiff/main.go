@@ -19,6 +19,14 @@
 //
 //	benchdiff -within-ci run-report.json run-report-sampled.json
 //
+// -allow-new-keys tolerates additive evolution: benchmarks and miss-rate
+// cells present only in the new report become informational notes instead
+// of drift, so a PR that adds an experiment passes against the old
+// baseline. Keys present in the old report but missing from the new one
+// still drift — coverage must never silently shrink:
+//
+//	benchdiff -allow-new-keys BENCH_main.json BENCH_pr.json
+//
 // Exit status: 0 no drift, 1 drift, 2 usage or I/O error.
 package main
 
@@ -53,6 +61,7 @@ func run() error {
 	counterTol := flag.Float64("counter-tol", 0, "relative counter/histogram drift tolerated (0 = exact)")
 	timingTol := flag.Float64("timing-tol", 0, "fractional timing regression tolerated; 0 disables timing comparison (timings are machine-dependent)")
 	withinCI := flag.Bool("within-ci", false, "tolerate each miss-rate cell's recorded <alg>/ci confidence half-width and skip counters/histograms/timers (sampled-vs-exact gate)")
+	allowNewKeys := flag.Bool("allow-new-keys", false, "tolerate benchmarks and miss-rate cells present only in the new report (additive evolution); keys missing from the new report still drift")
 	verbose := flag.Bool("v", false, "also print informational notes, not just drift")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [flags] old.json new.json\n")
@@ -74,10 +83,11 @@ func run() error {
 	}
 
 	findings := report.Diff(oldRep, newRep, report.DiffOptions{
-		MissRateTol: *missTol,
-		CounterTol:  *counterTol,
-		TimingTol:   *timingTol,
-		WithinCI:    *withinCI,
+		MissRateTol:  *missTol,
+		CounterTol:   *counterTol,
+		TimingTol:    *timingTol,
+		WithinCI:     *withinCI,
+		AllowNewKeys: *allowNewKeys,
 	})
 	// Every drift finding is printed before the verdict: one run names all
 	// drifting keys and aspects, rather than surfacing them one at a time.

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/telemetry/report"
+)
+
+// writeReport serializes r to a file under dir and returns its path.
+func writeReport(t *testing.T, dir, name string, r *report.Report) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Write(f, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// runMain invokes run() with a fresh flag set, as the command line would.
+func runMain(t *testing.T, args ...string) error {
+	t.Helper()
+	oldArgs, oldFlags := os.Args, flag.CommandLine
+	defer func() { os.Args, flag.CommandLine = oldArgs, oldFlags }()
+	flag.CommandLine = flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	os.Args = append([]string{"benchdiff"}, args...)
+	return run()
+}
+
+func TestAllowNewKeysFlag(t *testing.T) {
+	dir := t.TempDir()
+	base := report.New("experiments")
+	base.AddMissRate("perl", "GBSC", 0.0123)
+	cand := report.New("experiments")
+	cand.AddMissRate("perl", "GBSC", 0.0123)
+	cand.AddMissRate("vortex", "GBSC", 0.02) // additive: new benchmark
+	oldPath := writeReport(t, dir, "old.json", base)
+	newPath := writeReport(t, dir, "new.json", cand)
+
+	if err := runMain(t, oldPath, newPath); !errors.Is(err, errDrift) {
+		t.Errorf("added benchmark without -allow-new-keys: err = %v, want drift", err)
+	}
+	if err := runMain(t, "-allow-new-keys", oldPath, newPath); err != nil {
+		t.Errorf("added benchmark with -allow-new-keys: err = %v, want nil", err)
+	}
+	// Shrinking coverage still drifts: swap old and new so the vortex
+	// section is missing from the candidate.
+	if err := runMain(t, "-allow-new-keys", newPath, oldPath); !errors.Is(err, errDrift) {
+		t.Errorf("removed benchmark with -allow-new-keys: err = %v, want drift", err)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if err := runMain(t, "only-one.json"); err == nil || errors.Is(err, errDrift) {
+		t.Errorf("one argument: err = %v, want usage error", err)
+	}
+	if err := runMain(t, "missing-a.json", "missing-b.json"); err == nil || errors.Is(err, errDrift) {
+		t.Errorf("missing files: err = %v, want I/O error", err)
+	}
+}

@@ -11,7 +11,7 @@
 //	experiments -run all -stats report.json -cpuprofile cpu.pprof
 //
 // Available experiments: table1, figure5, figure6, padding, sameinput,
-// setassoc, ablations, sampling, staticbounds, all.
+// setassoc, ablations, sampling, staticbounds, driftreplace, all.
 //
 // staticbounds compares the static must/may interval (internal/staticcache)
 // against the exact replay of every (benchmark, algorithm) layout; under
@@ -189,6 +189,7 @@ func run() error {
 		{"headroom", func() (any, error) { return render(experiments.Headroom(opts)) }},
 		{"sampling", func() (any, error) { return render(experiments.Sampling(opts)) }},
 		{"staticbounds", func() (any, error) { return render(experiments.StaticBounds(opts)) }},
+		{"driftreplace", func() (any, error) { return render(experiments.DriftReplace(opts)) }},
 	}
 
 	ran := 0

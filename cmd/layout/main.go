@@ -21,6 +21,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/incr"
 	"repro/internal/invariant"
 	"repro/internal/popular"
 	"repro/internal/program"
@@ -49,6 +50,7 @@ func run() error {
 	lineBytes := flag.Int("line", 32, "cache line size in bytes")
 	chunk := flag.Int("chunk", 256, "TRG_place chunk size in bytes")
 	pageAware := flag.Bool("pagelocal", false, "use the page-locality linearization (gbsc only)")
+	incrFrom := flag.String("incr-from", "", "previous-profile trace file: place it first, then update incrementally to -trace via delta-driven merge-log replay (gbsc only; result is byte-identical to placing -trace from scratch)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path")
 	checkFlag := flag.String("check", "fatal", "layout invariant checking: fatal, warn, or off")
@@ -107,6 +109,10 @@ func run() error {
 		return fmt.Errorf("-static-bounds needs -trace to bound the layout against")
 	}
 
+	if *incrFrom != "" && *alg != "gbsc" {
+		return fmt.Errorf("-incr-from is only supported with -alg gbsc")
+	}
+
 	cfg := cache.Config{SizeBytes: *cacheBytes, LineBytes: *lineBytes, Assoc: 1}
 	if *alg == "gbsc2" {
 		cfg.Assoc = 2
@@ -138,9 +144,15 @@ func run() error {
 			CacheBytes: cfg.SizeBytes, ChunkSize: *chunk, Popular: pop,
 		})
 		if err == nil {
-			if *pageAware {
+			switch {
+			case *incrFrom != "":
+				if *pageAware {
+					return fmt.Errorf("-incr-from cannot be combined with -pagelocal")
+				}
+				l, err = incrLayout(prog, res, pop, cfg, *incrFrom, *chunk)
+			case *pageAware:
 				l, err = core.PlacePageAware(prog, res, pop, cfg)
-			} else {
+			default:
 				l, err = core.Place(prog, res, pop, cfg)
 			}
 			checkOpts.Popular = pop
@@ -215,4 +227,49 @@ func run() error {
 			100*iv.LowerRate(), 100*iv.UpperRate(), 100*iv.Width(), 100*iv.ClassifiedFrac())
 	}
 	return nil
+}
+
+// incrLayout places the old profile's TRG first, then updates it to the
+// new profile (newRes, built from -trace) through the incremental engine —
+// exercising the delta path end to end while producing a layout
+// byte-identical to placing -trace from scratch. The popular set is the
+// new profile's: it is the set the final layout must serve, and building
+// the old TRG against it keeps the two graphs diffable.
+func incrLayout(prog *program.Program, newRes *trg.Result, pop *popular.Set, cfg cache.Config, oldPath string, chunk int) (*program.Layout, error) {
+	of, err := os.Open(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	oldTr, err := trace.ReadBinary(of)
+	if cerr := of.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := oldTr.Validate(prog); err != nil {
+		return nil, fmt.Errorf("-incr-from trace: %w", err)
+	}
+	oldRes, err := trg.Build(prog, oldTr, trg.Options{
+		CacheBytes: cfg.SizeBytes, ChunkSize: chunk, Popular: pop,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d, err := trg.Diff(oldRes, newRes)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := incr.New(prog, oldRes, pop, cfg)
+	if err != nil {
+		return nil, err
+	}
+	l, err := eng.Update(d)
+	if err != nil {
+		return nil, err
+	}
+	st := eng.Stats()
+	fmt.Fprintf(os.Stderr, "layout: incremental update reused %d merges, replayed %d (%d snapshots)\n",
+		st.MergesReused, st.MergesReplayed, st.Snapshots)
+	return l, nil
 }

@@ -99,29 +99,23 @@ func (s *occState) merged(u, v graph.NodeID, off int) {
 	s.nodeChunks[v] = nil
 }
 
-// directEngine scores direct-mapped alignments (the Figure 4 conflict
-// metric) edge-first: every TRG_place cross-edge (c1 ∈ u, c2 ∈ v, w)
-// contributes w to cost[(l1-l2) mod C] for each line pair the two chunks
-// occupy. Iterating the smaller node's adjacency bounds each search by the
-// lighter side's cross-degree.
-type directEngine struct {
-	occState
-	// CSR adjacency snapshot of TRG_place over chunks; the place graph is
-	// never mutated during a merge loop, so slice walks replace map probes.
+// placeCSR is an immutable CSR adjacency snapshot of TRG_place over
+// chunks. The place graph is never mutated during a merge loop, so slice
+// walks replace map probes. The same structure doubles as the overlay
+// representation for the incremental engine: a CSR built from weight
+// deltas whose entries are added on top of the base during accumulation
+// (int64 addition is exact, so base + overlay scores the post-delta graph
+// byte-identically).
+type placeCSR struct {
 	nbrOff []int32
 	nbrID  []program.ChunkID
 	nbrW   []int64
-	costs  []int64
-	cross  int64
 }
 
-func newDirectEngine(prog *program.Program, placeG *graph.Graph, chunker *program.Chunker, lineBytes, period int) *directEngine {
-	e := &directEngine{
-		occState: newOccState(prog, chunker, lineBytes, period),
-		costs:    make([]int64, period),
-	}
-	nc := chunker.NumChunks()
-	es := placeG.Edges()
+// newPlaceCSRFromEdges builds the CSR from an explicit (deduplicated)
+// undirected edge list over nc chunks.
+func newPlaceCSRFromEdges(es []graph.Edge, nc int) *placeCSR {
+	c := &placeCSR{}
 	deg := make([]int32, nc+1)
 	for _, ed := range es {
 		deg[ed.U+1]++
@@ -130,19 +124,126 @@ func newDirectEngine(prog *program.Program, placeG *graph.Graph, chunker *progra
 	for i := 0; i < nc; i++ {
 		deg[i+1] += deg[i]
 	}
-	e.nbrOff = deg
-	e.nbrID = make([]program.ChunkID, 2*len(es))
-	e.nbrW = make([]int64, 2*len(es))
+	c.nbrOff = deg
+	c.nbrID = make([]program.ChunkID, 2*len(es))
+	c.nbrW = make([]int64, 2*len(es))
 	fill := make([]int32, nc)
 	for _, ed := range es {
-		i := e.nbrOff[ed.U] + fill[ed.U]
-		e.nbrID[i], e.nbrW[i] = program.ChunkID(ed.V), ed.W
+		i := c.nbrOff[ed.U] + fill[ed.U]
+		c.nbrID[i], c.nbrW[i] = program.ChunkID(ed.V), ed.W
 		fill[ed.U]++
-		j := e.nbrOff[ed.V] + fill[ed.V]
-		e.nbrID[j], e.nbrW[j] = program.ChunkID(ed.U), ed.W
+		j := c.nbrOff[ed.V] + fill[ed.V]
+		c.nbrID[j], c.nbrW[j] = program.ChunkID(ed.U), ed.W
 		fill[ed.V]++
 	}
-	return e
+	return c
+}
+
+func newPlaceCSR(placeG *graph.Graph, nc int) *placeCSR {
+	return newPlaceCSRFromEdges(placeG.Edges(), nc)
+}
+
+// occSnap is a deep copy of an occState's mutable occupancy (owner map,
+// per-chunk line multisets, per-node chunk lists) taken mid-merge-loop.
+// The immutable geometry (period, program, chunker) is not captured; a
+// snapshot is restored into a freshly constructed state sharing it.
+type occSnap struct {
+	owner      []graph.NodeID
+	chunkLines [][]int32
+	nodeChunks [][]program.ChunkID
+}
+
+func (s *occState) snapshot() occSnap {
+	sn := occSnap{
+		owner:      make([]graph.NodeID, len(s.owner)),
+		chunkLines: make([][]int32, len(s.chunkLines)),
+		nodeChunks: make([][]program.ChunkID, len(s.nodeChunks)),
+	}
+	copy(sn.owner, s.owner)
+	for i, ls := range s.chunkLines {
+		if ls != nil {
+			sn.chunkLines[i] = append([]int32(nil), ls...)
+		}
+	}
+	for i, cs := range s.nodeChunks {
+		if cs != nil {
+			sn.nodeChunks[i] = append([]program.ChunkID(nil), cs...)
+		}
+	}
+	return sn
+}
+
+// restore overwrites the mutable occupancy with a deep copy of sn, so the
+// stored snapshot can be restored again later.
+func (s *occState) restore(sn occSnap) {
+	copy(s.owner, sn.owner)
+	for i := range s.chunkLines {
+		s.chunkLines[i] = nil
+	}
+	for i, ls := range sn.chunkLines {
+		if ls != nil {
+			s.chunkLines[i] = append([]int32(nil), ls...)
+		}
+	}
+	for i := range s.nodeChunks {
+		s.nodeChunks[i] = nil
+	}
+	for i, cs := range sn.nodeChunks {
+		if cs != nil {
+			s.nodeChunks[i] = append([]program.ChunkID(nil), cs...)
+		}
+	}
+}
+
+// directEngine scores direct-mapped alignments (the Figure 4 conflict
+// metric) edge-first: every TRG_place cross-edge (c1 ∈ u, c2 ∈ v, w)
+// contributes w to cost[(l1-l2) mod C] for each line pair the two chunks
+// occupy. Iterating the smaller node's adjacency bounds each search by the
+// lighter side's cross-degree.
+type directEngine struct {
+	occState
+	csr *placeCSR
+	// ov is an optional delta overlay (incremental re-placement): entries
+	// are accumulated in addition to the base rows, so the effective edge
+	// weight is the sum of both. nil when no deltas are in play.
+	ov    *placeCSR
+	costs []int64
+	cross int64
+	// lastBase, when non-nil, receives a copy of the base-CSR-only cost
+	// vector of every bestOffset call (before the overlay is accumulated).
+	// The recorder stores these per step: the base contribution at a step
+	// depends only on the immutable base CSR and the prefix occupancy, so a
+	// later revalidation can re-score the step as stored vector + current
+	// overlay without walking the base CSR at all.
+	lastBase []int64
+	// d2 is the second-difference scratch buffer of accumulateRuns.
+	d2 []int64
+	// lastMargin is how far the runner-up cost of the latest bestOffset
+	// call was above the winner (maxMargin when there is no runner-up).
+	// The merge recorder logs it: a place delta whose bounded cost
+	// perturbation stays below the margin provably cannot flip the
+	// recorded alignment choice.
+	lastMargin int64
+}
+
+// maxMargin is the recorded margin when no alternative offset exists or
+// costs are unbounded apart; kept well under MaxInt64 so conservative
+// margin decrements never underflow.
+const maxMargin int64 = 1 << 62
+
+func newDirectEngine(prog *program.Program, placeG *graph.Graph, chunker *program.Chunker, lineBytes, period int) *directEngine {
+	return newDirectEngineCSR(prog, newPlaceCSR(placeG, chunker.NumChunks()), chunker, lineBytes, period)
+}
+
+// newDirectEngineCSR builds the engine around a prebuilt base CSR, letting
+// the recorded/incremental paths share one immutable snapshot across many
+// engine instantiations.
+func newDirectEngineCSR(prog *program.Program, csr *placeCSR, chunker *program.Chunker, lineBytes, period int) *directEngine {
+	return &directEngine{
+		occState: newOccState(prog, chunker, lineBytes, period),
+		csr:      csr,
+		costs:    make([]int64, period),
+	}
 }
 
 func (e *directEngine) crossEdgesScanned() int64 { return e.cross }
@@ -159,33 +260,166 @@ func (e *directEngine) bestOffset(u, v graph.NodeID) int {
 	// The accumulation order differs between the two directions but the
 	// int64 sums are exact, so the cost vector is identical either way.
 	cu, cv := e.nodeChunks[u], e.nodeChunks[v]
-	if len(cu) <= len(cv) {
-		e.accumulate(costs, cu, v, false)
-	} else {
-		e.accumulate(costs, cv, u, true)
+	fromU := len(cu) <= len(cv)
+	from, other := cu, v
+	if !fromU {
+		from, other = cv, u
 	}
+	e.accumulateCSR(e.csr, costs, from, other, !fromU)
+	if e.lastBase != nil {
+		copy(e.lastBase, costs)
+	}
+	if e.ov != nil {
+		e.accumulateCSR(e.ov, costs, from, other, !fromU)
+	}
+	best, margin := argminMargin(costs)
+	e.lastMargin = margin
+	return best
+}
+
+// argminMargin returns the first index minimizing costs and how far the
+// runner-up is above it (maxMargin when there is no runner-up) — the
+// argmin/margin semantics shared by bestOffset and rescore.
+func argminMargin(costs []int64) (int, int64) {
 	best, bestCost := 0, costs[0]
-	for i := 1; i < e.period; i++ {
+	for i := 1; i < len(costs); i++ {
 		if costs[i] < bestCost {
 			best, bestCost = i, costs[i]
 		}
 	}
-	return best
+	margin := maxMargin
+	for i := range costs {
+		if i == best {
+			continue
+		}
+		if m := costs[i] - bestCost; m < margin {
+			margin = m
+		}
+	}
+	return best, margin
 }
 
-// accumulate walks the TRG_place adjacency of every chunk in from, keeping
-// the cross-edges whose far end is owned by other. fromIsV says whether the
-// near side is the shifting node v (so its lines are subtracted) or u.
-func (e *directEngine) accumulate(costs []int64, from []program.ChunkID, other graph.NodeID, fromIsV bool) {
+// rescore repeats a recorded merge's alignment search from its stored
+// base-relative cost vector: the base-CSR contribution is fixed while the
+// prefix is reused verbatim (immutable CSR, identical occupancy), so only
+// the current overlay is accumulated on top. Byte-identical to a bestOffset
+// over the post-delta place graph at the same step.
+func (e *directEngine) rescore(base []int64, u, v graph.NodeID) (int, int64) {
+	costs := e.costs
+	copy(costs, base)
+	if e.ov != nil {
+		cu, cv := e.nodeChunks[u], e.nodeChunks[v]
+		if len(cu) <= len(cv) {
+			e.accumulateRuns(e.ov, costs, cu, v, false)
+		} else {
+			e.accumulateRuns(e.ov, costs, cv, u, true)
+		}
+	}
+	return argminMargin(costs)
+}
+
+// accumulateRuns adds the same cross-edge contributions as accumulateCSR
+// but in O(edges + period) instead of O(Σ p·q) line pairs. It exploits
+// the chunk-line geometry: a chunk's lines are a consecutive run modulo
+// the period (addNode seeds ls[j] = (ls[0]+j) mod period and merged only
+// rotates the run), so one edge's contribution to the cost vector is the
+// circular convolution of two interval indicators — a trapezoid. Each
+// trapezoid is four impulses on a second-difference buffer; integrating
+// the buffer twice at the end materializes all of them at once. The sums
+// are exact int64, so the result is byte-identical to accumulateCSR's.
+func (e *directEngine) accumulateRuns(csr *placeCSR, costs []int64, from []program.ChunkID, other graph.NodeID, fromIsV bool) {
+	P := e.period
+	if len(e.d2) < 2*P {
+		e.d2 = make([]int64, 2*P)
+	}
+	d2 := e.d2[:2*P]
+	clear(d2)
+	touched := false
 	for _, c := range from {
-		lo, hi := e.nbrOff[c], e.nbrOff[c+1]
+		lo, hi := csr.nbrOff[c], csr.nbrOff[c+1]
 		for k := lo; k < hi; k++ {
-			far := e.nbrID[k]
+			far := csr.nbrID[k]
 			if e.owner[far] != other {
 				continue
 			}
 			e.cross++
-			w := e.nbrW[k]
+			w := csr.nbrW[k]
+			nearLines, farLines := e.chunkLines[c], e.chunkLines[far]
+			p, q := len(nearLines), len(farLines)
+			if p == 0 || q == 0 {
+				continue
+			}
+			if p+q > P {
+				// Runs wrapping the whole period lose the trapezoid shape
+				// after folding; score such (rare, huge-chunk) edges with
+				// the exact nested loop instead.
+				for _, ln := range nearLines {
+					for _, lf := range farLines {
+						if fromIsV {
+							costs[mod(int(lf)-int(ln), P)] += w
+						} else {
+							costs[mod(int(ln)-int(lf), P)] += w
+						}
+					}
+				}
+				continue
+			}
+			// The cost index is (u-side line − v-side line) mod period; over
+			// two runs the differences cover a length p+q-1 window whose
+			// linear start is below. Impulses land in [0, 2P) because the
+			// start is normalized to [0, P) and p+q ≤ P.
+			var s int
+			if fromIsV {
+				s = int(farLines[0]) - int(nearLines[0]) - (p - 1)
+			} else {
+				s = int(nearLines[0]) - int(farLines[0]) - (q - 1)
+			}
+			s0 := mod(s, P)
+			d2[s0] += w
+			d2[s0+p] -= w
+			d2[s0+q] -= w
+			d2[s0+p+q] += w
+			touched = true
+		}
+	}
+	if !touched {
+		return
+	}
+	// Double prefix sum turns the impulses into the summed trapezoids; the
+	// four impulses of each edge telescope to zero past its window, so the
+	// running values are exactly the per-index contributions. Fold the
+	// second period back onto the first.
+	var d1, t int64
+	for i := 0; i < P; i++ {
+		d1 += d2[i]
+		t += d1
+		costs[i] += t
+	}
+	for i := P; i < 2*P; i++ {
+		d1 += d2[i]
+		t += d1
+		costs[i-P] += t
+	}
+}
+
+// accumulateCSR walks one CSR's adjacency of every chunk in from, keeping
+// the cross-edges whose far end is owned by other. fromIsV says whether the
+// near side is the shifting node v (so its lines are subtracted) or u.
+// Callers with an overlay set walk it in a second pass over the same cost
+// buffer: a pair present in both contributes base+delta in two exact int64
+// additions, a pair only in the overlay contributes the delta alone, and a
+// deleted pair's contributions cancel to zero — the cost vector equals the
+// one a fresh engine over the post-delta place graph would compute.
+func (e *directEngine) accumulateCSR(csr *placeCSR, costs []int64, from []program.ChunkID, other graph.NodeID, fromIsV bool) {
+	for _, c := range from {
+		lo, hi := csr.nbrOff[c], csr.nbrOff[c+1]
+		for k := lo; k < hi; k++ {
+			far := csr.nbrID[k]
+			if e.owner[far] != other {
+				continue
+			}
+			e.cross++
+			w := csr.nbrW[k]
 			nearLines, farLines := e.chunkLines[c], e.chunkLines[far]
 			for _, ln := range nearLines {
 				for _, lf := range farLines {

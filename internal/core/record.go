@@ -1,0 +1,569 @@
+package core
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+
+	"repro/internal/cache"
+	"repro/internal/graph"
+	"repro/internal/place"
+	"repro/internal/popular"
+	"repro/internal/program"
+	"repro/internal/trg"
+)
+
+// This file implements merge-log recording and checkpointed resume for the
+// direct-mapped GBSC merge loop — the core seams behind incremental
+// re-placement (internal/incr). PlaceRecorded runs the ordinary pipeline
+// while logging every greedy decision (edge popped, alignment chosen,
+// chained state fingerprint) and capturing periodic deep checkpoints of
+// the engine state (working select graph with its heaviest-edge heap,
+// node tuple sets, incremental occupancy). Recording.Resume restores a
+// checkpoint, applies TRG deltas, and replays only the suffix of the
+// merge loop — byte-identical to a from-scratch run on the post-delta TRG
+// because the restored state equals the from-scratch state at that step:
+//
+//   - the working graph at step s is the quotient of TRG_select by the
+//     step-s component partition with summed weights, and quotienting is
+//     additive, so applying the base deltas at representative level to
+//     the checkpointed graph yields exactly the post-delta quotient;
+//   - the occupancy and tuple state depend only on the merge prefix, not
+//     on edge weights, so they transfer unchanged;
+//   - HeaviestEdge is a pure function of the current adjacency under the
+//     (W desc, U asc, V asc) total order — the carried-over heap, kept
+//     current by ApplyDelta's lazy-invalidation pushes, selects exactly
+//     what a freshly built heap would.
+//
+// The caller (internal/incr) is responsible for choosing a checkpoint at
+// or before the earliest merge whose decision the delta could change.
+
+// MergeRecord is one logged greedy decision: the popped working-graph
+// edge (U survives, V is absorbed), its weight at pop time, the chosen
+// alignment shift of V, and a fingerprint chaining the full decision
+// history. Equal fingerprint chains certify byte-identical merge
+// trajectories.
+//
+// Margin is how far the runner-up alignment cost was above the chosen
+// one. It is advisory — a conservative lower bound the invalidation
+// analysis shrinks as place deltas are absorbed without replay — and is
+// deliberately excluded from the fingerprint, which certifies only the
+// decisions themselves.
+type MergeRecord struct {
+	U, V        graph.NodeID
+	W           int64
+	Off         int
+	Margin      int64
+	Fingerprint uint64
+}
+
+// checkpoint is a deep snapshot of the merge-loop state just before the
+// merge at the given step (step == number of merges already applied).
+type checkpoint struct {
+	step    int
+	working *graph.Graph                    // select quotient, heap carried
+	nodes   map[graph.NodeID][]place.Placed // surviving nodes' tuples
+	occ     occSnap                         // alignment engine occupancy
+	// pendingSel is the net base-level select drift not yet applied to
+	// working: PatchRetained defers the quotient projection (a per-
+	// checkpoint representative mapping plus an ApplyDelta) until the
+	// checkpoint is actually read, so updates that never restore a
+	// checkpoint pay one slice merge instead of a graph patch for it.
+	pendingSel []graph.WeightDelta
+}
+
+// flushPending folds any deferred select drift into the checkpoint's
+// working graph. Must run before the graph is read.
+func (rec *Recording) flushPending(ck *checkpoint) {
+	if len(ck.pendingSel) == 0 {
+		return
+	}
+	ck.working.ApplyDelta(quotientDeltas(ck.pendingSel, repOf(ck, rec.prog.NumProcs())))
+	ck.pendingSel = nil
+}
+
+// Recording is the merge log plus checkpoints of one recorded placement,
+// and the handle Resume replays from. It retains the inputs of the run
+// (program, popular set, config, place-graph CSR); the TRG itself is not
+// retained — deltas are supplied to Resume.
+type Recording struct {
+	// Steps is the merge log in execution order.
+	Steps []MergeRecord
+
+	// costs[t] is step t's full alignment cost vector restricted to the
+	// base place CSR (the overlay contribution, if any was active when the
+	// step ran, is excluded). While the prefix before t is reused verbatim
+	// the base contribution cannot change — the CSR is immutable and the
+	// occupancy at t is a function of the prefix alone — so re-scoring a
+	// step under new place deltas is stored vector + overlay accumulation,
+	// with no base CSR walk (directEngine.rescore).
+	costs [][]int64
+
+	prog     *program.Program
+	pop      *popular.Set
+	cfg      cache.Config
+	chunker  *program.Chunker
+	period   int
+	csr      *placeCSR
+	interval int
+	ckpts    []*checkpoint
+	// snapshots counts checkpoints captured over the recording's lifetime
+	// (initial run plus every resume), for telemetry.
+	snapshots int64
+	// reng is RevalidateAlignments' scratch engine, reused across calls —
+	// restore() resets all mutable state, so only the allocations carry over.
+	reng *directEngine
+}
+
+// NumCheckpoints returns how many checkpoints are currently retained.
+func (rec *Recording) NumCheckpoints() int { return len(rec.ckpts) }
+
+// CheckpointStep returns the merge step of checkpoint i (ascending in i;
+// the last checkpoint is always the final state of the previous run).
+func (rec *Recording) CheckpointStep(i int) int { return rec.ckpts[i].step }
+
+// Snapshots returns the cumulative number of checkpoints captured.
+func (rec *Recording) Snapshots() int64 { return rec.snapshots }
+
+// VerifyPops replays only the pop decisions of the merge log over the
+// post-delta select quotient — a snapshot of the initial checkpoint's
+// working graph with selDeltas applied — performing heap pops and node
+// merges but no alignment work. It returns the earliest step whose
+// heaviest-edge selection differs from the (patched) log, or -1 when
+// every logged pop is exactly what a from-scratch run on the post-delta
+// TRG selects. drained, meaningful only with divergence -1, reports
+// whether the post-delta quotient has no edges left once the whole log is
+// replayed — i.e. the scratch merge loop on the new TRG would stop exactly
+// where the log does, so the recorded trajectory is already complete.
+// patches[t].DW must carry the net select-delta weight landing on step t's
+// popped pair (nil means no weight changed); a mismatch between the
+// patched logged weight and the replayed pop is treated as an
+// invalidation, so an inconsistent patch map degrades to extra replay,
+// never to an unsound reuse.
+//
+// This is exact, not a bound: HeaviestEdge is a pure function of the
+// adjacency under the (W desc, U asc, V asc) total order, and the replay
+// maintains the identical adjacency a scratch run maintains while the
+// log prefix holds — so the first divergence found here is the first
+// divergence, ties and all. The graph work mirrors the scratch loop's,
+// but none of the alignment scoring — the dominant cost — is repeated.
+// The base checkpoint's graph is kept primed so each call clones a ready
+// heaviest-edge heap instead of rebuilding one from the adjacency maps.
+func (rec *Recording) VerifyPops(selDeltas []graph.WeightDelta, patches map[int]StepPatch) (divergence int, drained bool) {
+	ck := rec.ckpts[0]
+	rec.flushPending(ck)
+	ck.working.PrimeSelector()
+	working := ck.working.Snapshot()
+	if len(selDeltas) > 0 {
+		working.ApplyDelta(quotientDeltas(selDeltas, repOf(ck, rec.prog.NumProcs())))
+	}
+	for t := range rec.Steps {
+		e, ok := working.HeaviestEdge()
+		if !ok {
+			return t, false
+		}
+		s := rec.Steps[t]
+		if e.U != s.U || e.V != s.V || e.W != s.W+patches[t].DW {
+			return t, false
+		}
+		working.MergeNodes(e.U, e.V)
+	}
+	return -1, working.NumEdges() == 0
+}
+
+// Fingerprint returns the chained fingerprint of the whole merge log (the
+// chain seed when empty) — a compact certificate of the trajectory: two
+// recordings with equal fingerprints popped the same edges at the same
+// weights and chose the same alignments, in the same order.
+func (rec *Recording) Fingerprint() uint64 {
+	if n := len(rec.Steps); n > 0 {
+		return rec.Steps[n-1].Fingerprint
+	}
+	return fpBasis
+}
+
+// fnv64 offset basis / prime (FNV-1a), the chain seed and mixer for
+// MergeRecord fingerprints.
+const (
+	fpBasis uint64 = 14695981039346656037
+	fpPrime uint64 = 1099511628211
+)
+
+func fpMix(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fpPrime
+		x >>= 8
+	}
+	return h
+}
+
+// recorder observes a runLoop, appending merge records and capturing
+// checkpoints. eng is the concrete direct-mapped engine (recording is a
+// direct-mapped feature; the associative engine has no incremental path).
+type recorder struct {
+	rec    *Recording
+	eng    *directEngine
+	lastFP uint64
+}
+
+// maybeCheckpoint captures the pre-merge state at every interval-th step.
+// A checkpoint for the current step may already exist (the one Resume
+// restored from, or step 0 on the initial run's second visit); it is
+// never duplicated.
+func (rc *recorder) maybeCheckpoint(working *graph.Graph, nodes map[graph.NodeID]*node) {
+	step := len(rc.rec.Steps)
+	if step%rc.rec.interval != 0 {
+		return
+	}
+	rc.takeCheckpoint(step, working, nodes)
+}
+
+// finalCheckpoint always captures the terminal state: a delta that only
+// adds edges between components the old run never joined invalidates no
+// logged merge, and the resume loop then continues from here, merging
+// just the new edges.
+func (rc *recorder) finalCheckpoint(working *graph.Graph, nodes map[graph.NodeID]*node) {
+	rc.takeCheckpoint(len(rc.rec.Steps), working, nodes)
+}
+
+func (rc *recorder) takeCheckpoint(step int, working *graph.Graph, nodes map[graph.NodeID]*node) {
+	if n := len(rc.rec.ckpts); n > 0 && rc.rec.ckpts[n-1].step == step {
+		return
+	}
+	ns := make(map[graph.NodeID][]place.Placed, len(nodes))
+	// repolint:allow nodeterm/maporder: map-to-map copy, key-indexed
+	for id, nd := range nodes {
+		ns[id] = append([]place.Placed(nil), nd.procs...)
+	}
+	rc.rec.ckpts = append(rc.rec.ckpts, &checkpoint{
+		step:    step,
+		working: working.Snapshot(),
+		nodes:   ns,
+		occ:     rc.eng.snapshot(),
+	})
+	rc.rec.snapshots++
+}
+
+// chainFP folds one merge decision into the fingerprint chain.
+func chainFP(h uint64, r MergeRecord) uint64 {
+	h = fpMix(h, uint64(uint32(r.U)))
+	h = fpMix(h, uint64(uint32(r.V)))
+	h = fpMix(h, uint64(r.W))
+	h = fpMix(h, uint64(r.Off))
+	return h
+}
+
+// record appends the merge that was just applied, together with the
+// base-relative cost vector its alignment search produced.
+func (rc *recorder) record(e graph.Edge, off int) {
+	r := MergeRecord{U: e.U, V: e.V, W: e.W, Off: off, Margin: rc.eng.lastMargin}
+	rc.lastFP = chainFP(rc.lastFP, r)
+	r.Fingerprint = rc.lastFP
+	rc.rec.Steps = append(rc.rec.Steps, r)
+	rc.rec.costs = append(rc.rec.costs, slices.Clone(rc.eng.lastBase))
+}
+
+// checkpointInterval spaces checkpoints so a run of roughly nProcs merges
+// retains about 16 of them plus the final state: restore granularity
+// (wasted replay below the chosen step) stays within ~1/16 of the run
+// while checkpoint capture stays a small constant factor of the loop.
+func checkpointInterval(nProcs int) int {
+	iv := (nProcs + 15) / 16
+	if iv < 1 {
+		iv = 1
+	}
+	return iv
+}
+
+// PlaceRecorded is Place for a direct-mapped cache, additionally
+// returning the Recording of the full merge trajectory for later
+// incremental resumes. The layout is byte-identical to Place's on the
+// same inputs. The recording keeps references to prog, pop and the
+// TRG_place snapshot; res.Select is not retained.
+func PlaceRecorded(prog *program.Program, res *trg.Result, pop *popular.Set, cfg cache.Config) (*program.Layout, *Recording, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if pop == nil {
+		pop = popular.All(prog)
+	}
+	period := cfg.NumLines()
+	csr := newPlaceCSR(res.Place, res.Chunker.NumChunks())
+	rec := &Recording{
+		prog:     prog,
+		pop:      pop,
+		cfg:      cfg,
+		chunker:  res.Chunker,
+		period:   period,
+		csr:      csr,
+		interval: checkpointInterval(len(pop.IDs)),
+	}
+	eng := newDirectEngineCSR(prog, csr, res.Chunker, cfg.LineBytes, period)
+	eng.lastBase = make([]int64, period)
+	working, nodes, err := initAssign(res.Select, pop, eng)
+	if err != nil {
+		return nil, nil, err
+	}
+	runLoop(working, nodes, eng, period, nil, &recorder{rec: rec, eng: eng, lastFP: fpBasis})
+	items := gatherItems(working, nodes, pop)
+	l, err := place.Linearize(prog, items, pop.Unpopular(prog), cfg, period)
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, rec, nil
+}
+
+// StepPatch adjusts a retained merge record to the post-delta TRG: DW is
+// the net select-delta weight that landed on the step's popped pair (its
+// logged weight must track the current graph), and MarginDrop shrinks the
+// logged alignment margin by the cost-perturbation mass of place deltas
+// absorbed at this step without replay (the remaining margin stays a
+// sound lower bound for future invalidation analyses).
+type StepPatch struct {
+	DW         int64
+	MarginDrop int64
+}
+
+// ResumeStats reports what a Resume reused versus recomputed.
+type ResumeStats struct {
+	// Reused is the number of logged merges kept (the restored
+	// checkpoint's step); Replayed is the number re-executed after it.
+	Reused, Replayed int
+	// Snapshots is the number of checkpoints captured during this resume.
+	Snapshots int
+}
+
+// repOf derives the procedure→working-node map of a checkpoint from its
+// tuple sets: every procedure in a node's tuple list is represented by
+// that node.
+func repOf(ck *checkpoint, nProcs int) []graph.NodeID {
+	rep := make([]graph.NodeID, nProcs)
+	for i := range rep {
+		rep[i] = -1
+	}
+	// repolint:allow nodeterm/maporder: each proc appears in exactly one node
+	for id, procs := range ck.nodes {
+		for _, pp := range procs {
+			rep[pp.Proc] = id
+		}
+	}
+	return rep
+}
+
+// quotientDeltas maps base-graph select deltas to a checkpoint's working
+// graph: each endpoint is replaced by its representative node, intra-node
+// pairs are dropped (their weight has left the quotient), and deltas
+// landing on the same working pair are coalesced so ApplyDelta sees one
+// net adjustment per edge (valid base deltas can momentarily sum negative
+// per-entry but never net). The result is sorted for determinism.
+func quotientDeltas(ds []graph.WeightDelta, rep []graph.NodeID) []graph.WeightDelta {
+	type pair = [2]graph.NodeID
+	acc := make(map[pair]int64, len(ds))
+	for _, d := range ds {
+		a, b := rep[d.U], rep[d.V]
+		if a == b || a < 0 || b < 0 {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		acc[pair{a, b}] += d.DW
+	}
+	out := make([]graph.WeightDelta, 0, len(acc))
+	// repolint:allow nodeterm/maporder: collected entries are sorted below
+	for p, dw := range acc {
+		if dw != 0 {
+			out = append(out, graph.WeightDelta{U: p[0], V: p[1], DW: dw})
+		}
+	}
+	slices.SortFunc(out, func(x, y graph.WeightDelta) int {
+		if c := cmp.Compare(x.U, y.U); c != 0 {
+			return c
+		}
+		return cmp.Compare(x.V, y.V)
+	})
+	return out
+}
+
+// overlayCSR coalesces accumulated place-graph deltas into a CSR overlay
+// for the alignment engine. Entries that net to zero are dropped. Deltas
+// already in canonical form (what incr.Engine maintains) skip the
+// coalescing map entirely.
+func overlayCSR(ds []graph.WeightDelta, nc int) *placeCSR {
+	if len(ds) == 0 {
+		return nil
+	}
+	var es []graph.Edge
+	if graph.CanonicalDeltas(ds) {
+		es = make([]graph.Edge, len(ds))
+		for i, d := range ds {
+			es[i] = graph.Edge{U: d.U, V: d.V, W: d.DW}
+		}
+		return newPlaceCSRFromEdges(es, nc)
+	}
+	type pair = [2]graph.NodeID
+	acc := make(map[pair]int64, len(ds))
+	for _, d := range ds {
+		if d.U == d.V || d.DW == 0 {
+			continue
+		}
+		a, b := d.U, d.V
+		if a > b {
+			a, b = b, a
+		}
+		acc[pair{a, b}] += d.DW
+	}
+	es = make([]graph.Edge, 0, len(acc))
+	// repolint:allow nodeterm/maporder: collected entries are sorted below
+	for p, dw := range acc {
+		if dw != 0 {
+			es = append(es, graph.Edge{U: p[0], V: p[1], W: dw})
+		}
+	}
+	slices.SortFunc(es, func(x, y graph.Edge) int {
+		if c := cmp.Compare(x.U, y.U); c != 0 {
+			return c
+		}
+		return cmp.Compare(x.V, y.V)
+	})
+	if len(es) == 0 {
+		return nil
+	}
+	return newPlaceCSRFromEdges(es, nc)
+}
+
+// RevalidateAlignments re-scores the recorded alignment decisions at the
+// given steps (ascending) against the post-delta place graph (each step's
+// stored base-relative cost vector plus the cumulative placeDeltas
+// overlay), replaying only the occupancy evolution of the logged prefix —
+// shift bookkeeping, no heap pops, no graph merges, and no base-CSR
+// walks even at the candidates themselves. It returns the earliest
+// candidate whose argmin offset changed, or -1 if every candidate's
+// decision survives; surviving candidates' logged margins are refreshed
+// to their exact post-delta values. The caller must ensure every step
+// before a candidate is otherwise valid — the occupancy at a candidate is
+// only the from-scratch occupancy if the prefix is reused verbatim.
+func (rec *Recording) RevalidateAlignments(cand []int, placeDeltas []graph.WeightDelta) int {
+	if len(cand) == 0 {
+		return -1
+	}
+	ck := rec.ckpts[0]
+	for _, c := range rec.ckpts {
+		if c.step <= cand[0] {
+			ck = c
+		}
+	}
+	if rec.reng == nil {
+		rec.reng = newDirectEngineCSR(rec.prog, rec.csr, rec.chunker, rec.cfg.LineBytes, rec.period)
+	}
+	eng := rec.reng
+	eng.restore(ck.occ)
+	eng.ov = overlayCSR(placeDeltas, rec.chunker.NumChunks())
+	t := ck.step
+	for _, j := range cand {
+		for ; t < j; t++ {
+			s := rec.Steps[t]
+			eng.merged(s.U, s.V, s.Off)
+		}
+		s := rec.Steps[j]
+		off, margin := eng.rescore(rec.costs[j], s.U, s.V)
+		if off != s.Off {
+			return j
+		}
+		rec.Steps[j].Margin = margin
+	}
+	return -1
+}
+
+// PatchRetained applies the delta bookkeeping of an update to the state
+// the recording keeps: every retained checkpoint accrues the select
+// deltas (folded into its working graph lazily, when the checkpoint is
+// next read), retained step records get their weight and margin patches,
+// and the fingerprint chain is rebuilt over the patched log. Resume does this as its first half before replaying; an
+// update that invalidates nothing and adds no post-log merges (VerifyPops
+// returned divergence -1 with drained true and every alignment survived)
+// calls it alone — the prior layout is already the post-delta layout, so
+// no replay, re-linearization or new checkpoint is needed.
+func (rec *Recording) PatchRetained(selDeltas []graph.WeightDelta, patches map[int]StepPatch) {
+	if len(selDeltas) > 0 {
+		for _, ck := range rec.ckpts {
+			ck.pendingSel = graph.MergeDeltas(ck.pendingSel, selDeltas)
+		}
+	}
+	// Patch retained pop weights and rechain their fingerprints so the
+	// kept prefix is byte-identical to a scratch log on the new TRG.
+	// repolint:allow nodeterm/maporder: index-addressed writes, commutative
+	for t, p := range patches {
+		if t < len(rec.Steps) {
+			rec.Steps[t].W += p.DW
+			rec.Steps[t].Margin -= p.MarginDrop
+		}
+	}
+	h := fpBasis
+	for i := range rec.Steps {
+		h = chainFP(h, rec.Steps[i])
+		rec.Steps[i].Fingerprint = h
+	}
+}
+
+// Resume restores checkpoint index ckpt, applies the TRG deltas, replays
+// the merge loop from there and linearizes — producing the layout a full
+// from-scratch GBSC run on the post-delta TRG would produce, byte for
+// byte, provided ckpt is at or before the earliest merge the deltas
+// invalidate.
+//
+// selDeltas are the base TRG_select deltas of THIS update; every retained
+// checkpoint (index <= ckpt) is patched with them, so the recording's
+// checkpoints always reflect the current TRG. placeDeltas must be the
+// CUMULATIVE TRG_place deltas since the recording's initial run (the
+// engine's base CSR is immutable); they are overlaid during alignment
+// scoring. patches[t] adjusts the record of retained step t (see
+// StepPatch): patched logged weights keep the merge log equal to what a
+// scratch recording on the new TRG would log, which the invalidation
+// analysis of the NEXT update depends on. Entries at or beyond the
+// checkpoint's step are ignored — those steps are replayed with true
+// weights and fresh margins. Checkpoints beyond ckpt are dropped and the
+// merge log is truncated to the checkpoint's step; replaying appends
+// fresh records and checkpoints, so the recording afterwards describes
+// the post-delta trajectory end to end.
+func (rec *Recording) Resume(ckpt int, selDeltas, placeDeltas []graph.WeightDelta, patches map[int]StepPatch) (*program.Layout, ResumeStats, error) {
+	var st ResumeStats
+	if ckpt < 0 || ckpt >= len(rec.ckpts) {
+		return nil, st, fmt.Errorf("core: Resume checkpoint %d out of range [0,%d)", ckpt, len(rec.ckpts))
+	}
+
+	// Truncate to the checkpoint, then patch everything retained.
+	rec.ckpts = rec.ckpts[:ckpt+1]
+	cp := rec.ckpts[ckpt]
+	rec.Steps = rec.Steps[:cp.step]
+	rec.costs = rec.costs[:cp.step]
+	st.Reused = cp.step
+	rec.PatchRetained(selDeltas, patches)
+	h := rec.Fingerprint()
+
+	// Rebuild live state from the (patched) checkpoint.
+	rec.flushPending(cp)
+	working := cp.working.Snapshot()
+	nodes := make(map[graph.NodeID]*node, len(cp.nodes))
+	// repolint:allow nodeterm/maporder: map-to-map copy, key-indexed
+	for id, procs := range cp.nodes {
+		nodes[id] = &node{procs: append([]place.Placed(nil), procs...)}
+	}
+	eng := newDirectEngineCSR(rec.prog, rec.csr, rec.chunker, rec.cfg.LineBytes, rec.period)
+	eng.lastBase = make([]int64, rec.period)
+	eng.restore(cp.occ)
+	eng.ov = overlayCSR(placeDeltas, rec.chunker.NumChunks())
+
+	before := rec.snapshots
+	runLoop(working, nodes, eng, rec.period, nil, &recorder{rec: rec, eng: eng, lastFP: h})
+	st.Replayed = len(rec.Steps) - cp.step
+	st.Snapshots = int(rec.snapshots - before)
+
+	items := gatherItems(working, nodes, rec.pop)
+	l, err := place.Linearize(rec.prog, items, rec.pop.Unpopular(rec.prog), rec.cfg, rec.period)
+	if err != nil {
+		return nil, st, err
+	}
+	return l, st, nil
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/graph"
+	"repro/internal/popular"
+	"repro/internal/trg"
+)
+
+// randomTRGDeltas perturbs res in place (select-edge re-weights and
+// deletions, new select edges among popular procs, place-edge tweaks) and
+// returns the base-graph deltas it applied. One delta per pair.
+func randomTRGDeltas(rng *rand.Rand, res *trg.Result, pop *popular.Set) (sel, pl []graph.WeightDelta) {
+	type pair = [2]graph.NodeID
+	seenS := map[pair]bool{}
+	addSel := func(u, v graph.NodeID, dw int64) {
+		if u == v || dw == 0 {
+			return
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seenS[pair{u, v}] {
+			return
+		}
+		seenS[pair{u, v}] = true
+		sel = append(sel, graph.WeightDelta{U: u, V: v, DW: dw})
+	}
+	es := res.Select.Edges()
+	for _, e := range es {
+		switch rng.Intn(4) {
+		case 0:
+			addSel(e.U, e.V, int64(rng.Intn(9)+1)) // grow
+		case 1:
+			addSel(e.U, e.V, -rng.Int63n(e.W)-1+rng.Int63n(2)) // shrink, possibly to zero
+		}
+	}
+	for i := rng.Intn(4); i > 0 && len(pop.IDs) >= 2; i-- {
+		u := graph.NodeID(pop.IDs[rng.Intn(len(pop.IDs))])
+		v := graph.NodeID(pop.IDs[rng.Intn(len(pop.IDs))])
+		if u != v && res.Select.Weight(u, v) == 0 {
+			addSel(u, v, int64(rng.Intn(20)+1)) // brand-new select edge
+		}
+	}
+	seenP := map[pair]bool{}
+	for _, e := range res.Place.Edges() {
+		if rng.Intn(5) != 0 || seenP[pair{e.U, e.V}] {
+			continue
+		}
+		seenP[pair{e.U, e.V}] = true
+		dw := int64(rng.Intn(7) + 1)
+		if rng.Intn(3) == 0 {
+			dw = -e.W // deletion
+		}
+		pl = append(pl, graph.WeightDelta{U: e.U, V: e.V, DW: dw})
+	}
+	res.Select.ApplyDelta(sel)
+	res.Place.ApplyDelta(pl)
+	return sel, pl
+}
+
+// PlaceRecorded must be observationally identical to Place, and resuming
+// from any retained checkpoint with no deltas must reproduce the same
+// layout and merge log.
+func TestPlaceRecordedMatchesPlace(t *testing.T) {
+	cfg := cache.Config{SizeBytes: 256, LineBytes: 32, Assoc: 1}
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(5000 + seed))
+		prog, tr, pop := randomScenario(rng)
+		res, err := trg.Build(prog, tr, trg.Options{CacheBytes: cfg.SizeBytes, ChunkSize: 32, Popular: pop})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want, err := Place(prog, res, pop, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: Place: %v", seed, err)
+		}
+		got, rec, err := PlaceRecorded(prog, res, pop, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: PlaceRecorded: %v", seed, err)
+		}
+		layoutsEqual(t, seed, "PlaceRecorded", got, want, prog)
+		if rec.NumCheckpoints() == 0 || rec.CheckpointStep(rec.NumCheckpoints()-1) != len(rec.Steps) {
+			t.Fatalf("seed %d: missing final checkpoint (%d ckpts, %d steps)",
+				seed, rec.NumCheckpoints(), len(rec.Steps))
+		}
+		steps := append([]MergeRecord(nil), rec.Steps...)
+		for ck := rec.NumCheckpoints() - 1; ck >= 0; ck-- {
+			// Later checkpoints are dropped by each resume, so walk backwards.
+			rl, st, err := rec.Resume(ck, nil, nil, nil)
+			if err != nil {
+				t.Fatalf("seed %d ck %d: Resume: %v", seed, ck, err)
+			}
+			layoutsEqual(t, seed, "Resume(no delta)", rl, want, prog)
+			if st.Reused+st.Replayed != len(steps) {
+				t.Fatalf("seed %d ck %d: reused %d + replayed %d != %d merges",
+					seed, ck, st.Reused, st.Replayed, len(steps))
+			}
+			for i, s := range rec.Steps {
+				if s != steps[i] {
+					t.Fatalf("seed %d ck %d: replayed step %d = %+v, recorded %+v", seed, ck, i, s, steps[i])
+				}
+			}
+		}
+	}
+}
+
+// Resuming from checkpoint 0 is always sound (nothing is reused), so it
+// exercises the full delta machinery — checkpoint patching, quotient
+// mapping, the place overlay, heap carry-over — against a from-scratch
+// run on the post-delta TRG, including repeated updates on one recording.
+func TestResumeFromStartMatchesScratch(t *testing.T) {
+	cfg := cache.Config{SizeBytes: 256, LineBytes: 32, Assoc: 1}
+	for seed := int64(0); seed < 80; seed++ {
+		rng := rand.New(rand.NewSource(7000 + seed))
+		prog, tr, pop := randomScenario(rng)
+		res, err := trg.Build(prog, tr, trg.Options{CacheBytes: cfg.SizeBytes, ChunkSize: 32, Popular: pop})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		_, rec, err := PlaceRecorded(prog, res, pop, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: PlaceRecorded: %v", seed, err)
+		}
+		var cumPlace []graph.WeightDelta
+		for round := 0; round < 3; round++ {
+			sel, pl := randomTRGDeltas(rng, res, pop) // mutates res
+			cumPlace = append(cumPlace, pl...)
+			got, _, err := rec.Resume(0, sel, cumPlace, nil)
+			if err != nil {
+				t.Fatalf("seed %d round %d: Resume: %v", seed, round, err)
+			}
+			want, err := Place(prog, res, pop, cfg)
+			if err != nil {
+				t.Fatalf("seed %d round %d: scratch Place: %v", seed, round, err)
+			}
+			layoutsEqual(t, seed, "Resume(0) vs scratch", got, want, prog)
+			_, scratchRec, err := PlaceRecorded(prog, res, pop, cfg)
+			if err != nil {
+				t.Fatalf("seed %d round %d: scratch PlaceRecorded: %v", seed, round, err)
+			}
+			if len(scratchRec.Steps) != len(rec.Steps) {
+				t.Fatalf("seed %d round %d: %d replayed steps, scratch %d",
+					seed, round, len(rec.Steps), len(scratchRec.Steps))
+			}
+			for i := range rec.Steps {
+				if rec.Steps[i] != scratchRec.Steps[i] {
+					t.Fatalf("seed %d round %d step %d: replay %+v, scratch %+v",
+						seed, round, i, rec.Steps[i], scratchRec.Steps[i])
+				}
+			}
+		}
+	}
+}

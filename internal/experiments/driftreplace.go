@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/incr"
+	"repro/internal/program"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/trg"
+)
+
+// driftFracs are the profile-drift magnitudes swept by DriftReplace: each
+// drifted profile is the training trace extended by this fraction of the
+// testing trace, mimicking a profile refreshed with new field data.
+var driftFracs = []float64{0.01, 0.02, 0.05, 0.10, 0.25}
+
+// DriftReplaceCell is one (benchmark, drift magnitude) incremental
+// re-placement, compared step for step against a from-scratch run.
+type DriftReplaceCell struct {
+	Bench string
+	// ExtraFrac is the fraction of testing-trace events appended to the
+	// training trace before rebuilding the TRG.
+	ExtraFrac float64
+	// MassFrac is the realized drift: summed |Δw| over the select delta
+	// divided by the base TRG_select total weight.
+	MassFrac float64
+	// Merges is the post-drift merge-log length; Reused of them were kept
+	// from the pre-drift log and Replayed were re-executed.
+	Merges   int
+	Reused   int
+	Replayed int
+	// Identical reports byte-identity of the incremental layout and merge
+	// log against the from-scratch run on the drifted TRG. DriftReplace
+	// fails outright when any cell is false; the field exists so the
+	// rendered table shows the oracle ran.
+	Identical bool
+}
+
+// DriftReplaceResult is the reuse table backing the "Incremental
+// re-placement" section of EXPERIMENTS.md: how much of the merge log
+// survives profile drift of increasing magnitude, with every incremental
+// result certified byte-identical to from-scratch.
+type DriftReplaceResult struct {
+	Scale float64
+	Cells []DriftReplaceCell
+}
+
+// MeanReuse returns the mean reused-merge fraction across cells with at
+// least one merge.
+func (r *DriftReplaceResult) MeanReuse() float64 {
+	var sum float64
+	n := 0
+	for _, c := range r.Cells {
+		if c.Merges > 0 {
+			sum += float64(c.Reused) / float64(c.Merges)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// DriftReplace measures the incremental re-placement engine (internal/incr)
+// on the real benchmark suite: for every benchmark and drift magnitude, the
+// training profile is extended with a prefix of the testing trace, the TRG
+// delta is extracted with trg.Diff, and the engine updates the recorded
+// placement by merge-log replay. Every cell is checked byte-identical —
+// layout addresses and merge-log fingerprint — against a from-scratch GBSC
+// run on the drifted TRG; any mismatch fails the experiment. The grid is
+// sharded across Options.Parallel workers with index-addressed cells, so
+// the result is byte-identical at every worker count.
+func DriftReplace(opts Options) (*DriftReplaceResult, error) {
+	opts.setDefaults()
+	if err := opts.Cache.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Cache.Assoc != 1 {
+		return nil, fmt.Errorf("experiments: driftreplace requires a direct-mapped cache (assoc %d)", opts.Cache.Assoc)
+	}
+	par := opts.parallelism()
+	pairs, benches, err := opts.prepareSuite(opts.Cache, par)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &DriftReplaceResult{Scale: opts.Scale, Cells: make([]DriftReplaceCell, len(pairs)*len(driftFracs))}
+	err = runParallel(par, len(out.Cells),
+		func() *telemetry.Shard { return opts.Telemetry.Shard() },
+		func(sh *telemetry.Shard, i int) error {
+			bi, fi := i/len(driftFracs), i%len(driftFracs)
+			b, frac := benches[bi], driftFracs[fi]
+			name := fmt.Sprintf("%s/%.2f/driftreplace", pairs[bi].Bench.Name, frac)
+			prog := pairs[bi].Bench.Prog
+
+			// Drifted profile: training trace plus the first frac of the
+			// testing trace, rebuilt into a TRG with the same geometry and
+			// popular set as the base.
+			k := int(frac * float64(b.test.Len()))
+			drifted := &trace.Trace{Events: make([]trace.Event, 0, b.train.Len()+k)}
+			drifted.Events = append(drifted.Events, b.train.Events...)
+			drifted.Events = append(drifted.Events, b.test.Events[:k]...)
+			newRes, err := trg.Build(prog, drifted, trg.Options{CacheBytes: opts.Cache.SizeBytes, Popular: b.pop})
+			if err != nil {
+				return fmt.Errorf("%s: drifted TRG: %w", name, err)
+			}
+			d, err := trg.Diff(b.trgRes, newRes)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			var mass int64
+			for _, wd := range d.Select {
+				if wd.DW >= 0 {
+					mass += wd.DW
+				} else {
+					mass -= wd.DW
+				}
+			}
+
+			eng, err := incr.New(prog, b.trgRes.Clone(), b.pop, opts.Cache)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			got, err := eng.Update(d)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			wantLayout, wantRec, err := core.PlaceRecorded(prog, newRes, b.pop, opts.Cache)
+			if err != nil {
+				return fmt.Errorf("%s: scratch oracle: %w", name, err)
+			}
+			if eng.Fingerprint() != wantRec.Fingerprint() {
+				return fmt.Errorf("%s: merge log diverged from scratch (fp %x != %x)", name, eng.Fingerprint(), wantRec.Fingerprint())
+			}
+			for p := 0; p < prog.NumProcs(); p++ {
+				if got.Addr(program.ProcID(p)) != wantLayout.Addr(program.ProcID(p)) {
+					return fmt.Errorf("%s: layout diverged from scratch at proc %d", name, p)
+				}
+			}
+
+			st := eng.Stats()
+			sh.Add("incr/merges_reused", st.MergesReused)
+			sh.Add("incr/replayed", st.MergesReplayed)
+			sh.Add("incr/snapshots", st.Snapshots)
+			out.Cells[i] = DriftReplaceCell{
+				Bench:     pairs[bi].Bench.Name,
+				ExtraFrac: frac,
+				MassFrac:  float64(mass) / float64(b.trgRes.Select.TotalWeight()),
+				Merges:    len(wantRec.Steps),
+				Reused:    int(st.MergesReused),
+				Replayed:  int(st.MergesReplayed),
+				Identical: true,
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Render prints the per-cell reuse table and the aggregate summary.
+func (r *DriftReplaceResult) Render(w io.Writer) error {
+	fmt.Fprintf(w, "== incremental re-placement under profile drift (s=%.2f) ==\n", r.Scale)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "bench\textra\tmass\tmerges\treused\treplayed\treuse\tidentical")
+	for _, c := range r.Cells {
+		reuse := 0.0
+		if c.Merges > 0 {
+			reuse = float64(c.Reused) / float64(c.Merges)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%s\t%v\n",
+			c.Bench, pct(c.ExtraFrac), pct(c.MassFrac),
+			c.Merges, c.Reused, c.Replayed, pct(reuse), c.Identical)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "mean reuse %s; every incremental layout byte-identical to from-scratch\n", pct(r.MeanReuse()))
+	return nil
+}

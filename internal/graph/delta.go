@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+)
+
+// WeightDelta is a single edge-weight adjustment: add DW to the weight of
+// the undirected edge (U,V). Deltas are produced by diffing two graphs
+// (Diff) or two TRG builds (trg.Diff) and consumed by ApplyDelta and the
+// incremental placement engine (internal/incr).
+type WeightDelta struct {
+	U, V NodeID
+	DW   int64
+}
+
+// ApplyDelta applies each delta to the graph. Zero-DW entries and
+// self-loops are rejected as no-ops (a delta that changes nothing carries
+// no information and usually indicates a diffing bug upstream, so they are
+// skipped rather than creating spurious weight-0 edges). A delta that
+// drives an edge's weight to exactly zero removes the edge — the state is
+// then indistinguishable from a graph built without it, which is what the
+// incremental engine's byte-identity contract requires (a lingering
+// weight-0 edge would still be selectable by HeaviestEdge). A delta that
+// would drive a weight negative panics: conflict counts are non-negative
+// by construction, so a negative result means the delta was computed
+// against a different base graph.
+//
+// If the heaviest-edge selector is active it is kept current (SetWeight
+// notifies it), so deltas may be applied mid-merge-loop or to a Snapshot
+// without invalidating selection.
+func (g *Graph) ApplyDelta(ds []WeightDelta) {
+	for _, d := range ds {
+		if d.DW == 0 || d.U == d.V {
+			continue
+		}
+		w := g.Weight(d.U, d.V) + d.DW
+		if w < 0 {
+			panic(fmt.Sprintf("graph: ApplyDelta(%d,%d,%+d) would drive weight %d negative",
+				d.U, d.V, d.DW, g.Weight(d.U, d.V)))
+		}
+		g.SetWeight(d.U, d.V, w)
+	}
+}
+
+// Diff returns the weight deltas that transform old into new:
+// applying the result to old (ApplyDelta) yields a graph whose edge set
+// and weights equal new's. Node-only differences (nodes with no incident
+// edges) are not reported: every placement consumer seeds its working
+// graph with the full popular set regardless. The result is sorted by
+// (U,V) and deterministic.
+func Diff(old, new *Graph) []WeightDelta {
+	oe, ne := old.Edges(), new.Edges()
+	ds := make([]WeightDelta, 0, len(oe)+len(ne))
+	i, j := 0, 0
+	for i < len(oe) || j < len(ne) {
+		switch {
+		case i == len(oe):
+			ds = append(ds, WeightDelta{U: ne[j].U, V: ne[j].V, DW: ne[j].W})
+			j++
+		case j == len(ne):
+			ds = append(ds, WeightDelta{U: oe[i].U, V: oe[i].V, DW: -oe[i].W})
+			i++
+		default:
+			c := cmp.Compare(oe[i].U, ne[j].U)
+			if c == 0 {
+				c = cmp.Compare(oe[i].V, ne[j].V)
+			}
+			switch {
+			case c < 0:
+				ds = append(ds, WeightDelta{U: oe[i].U, V: oe[i].V, DW: -oe[i].W})
+				i++
+			case c > 0:
+				ds = append(ds, WeightDelta{U: ne[j].U, V: ne[j].V, DW: ne[j].W})
+				j++
+			default:
+				if dw := ne[j].W - oe[i].W; dw != 0 {
+					ds = append(ds, WeightDelta{U: oe[i].U, V: oe[i].V, DW: dw})
+				}
+				i++
+				j++
+			}
+		}
+	}
+	return slices.Clip(ds)
+}
+
+// DeltaCompare orders weight deltas by (U,V) — the canonical order Diff
+// emits and MergeDeltas maintains.
+func DeltaCompare(a, b WeightDelta) int {
+	if c := cmp.Compare(a.U, b.U); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.V, b.V)
+}
+
+// CanonicalDeltas reports whether ds is in canonical form: U < V per
+// entry, no zero deltas, strictly ascending (U,V). Diff output and
+// MergeDeltas results are canonical; canonical slices support binary
+// search and linear co-walks without re-sorting.
+func CanonicalDeltas(ds []WeightDelta) bool {
+	for i, d := range ds {
+		if d.U >= d.V || d.DW == 0 {
+			return false
+		}
+		if i > 0 && (d.U < ds[i-1].U || (d.U == ds[i-1].U && d.V <= ds[i-1].V)) {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeDeltas folds add into base, combining entries per unordered pair
+// and dropping pairs that net to zero; the result is canonical. base must
+// already be canonical. add is arbitrary: entries are normalized to U < V
+// (self-loops and zero deltas dropped) and sorted only when not already
+// sorted, so folding Diff output into a running net-drift slice is a
+// single linear merge with no maps. Neither input is modified.
+func MergeDeltas(base, add []WeightDelta) []WeightDelta {
+	norm := make([]WeightDelta, 0, len(add))
+	for _, wd := range add {
+		if wd.U == wd.V || wd.DW == 0 {
+			continue
+		}
+		if wd.U > wd.V {
+			wd.U, wd.V = wd.V, wd.U
+		}
+		norm = append(norm, wd)
+	}
+	if !slices.IsSortedFunc(norm, DeltaCompare) {
+		slices.SortFunc(norm, DeltaCompare)
+	}
+	out := make([]WeightDelta, 0, len(base)+len(norm))
+	i, j := 0, 0
+	for i < len(base) || j < len(norm) {
+		var d WeightDelta
+		switch {
+		case j == len(norm):
+			d, i = base[i], i+1
+		case i == len(base):
+			d, j = norm[j], j+1
+		default:
+			if c := DeltaCompare(base[i], norm[j]); c <= 0 {
+				d, i = base[i], i+1
+			} else {
+				d, j = norm[j], j+1
+			}
+		}
+		for j < len(norm) && norm[j].U == d.U && norm[j].V == d.V {
+			d.DW += norm[j].DW
+			j++
+		}
+		if d.DW != 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Snapshot returns a deep copy that, unlike Clone, also carries the
+// heaviest-edge selector state (heap entries and effort counters). A
+// restored merge loop therefore resumes edge selection without the O(E)
+// heap rebuild, and because the selector uses lazy invalidation, later
+// ApplyDelta calls on the copy keep its heap current exactly as they
+// would have on the original. Graphs whose selector was never activated
+// snapshot without one; the copy builds it lazily like any fresh graph.
+func (g *Graph) Snapshot() *Graph {
+	c := g.Clone()
+	if g.sel != nil {
+		c.sel = &edgeSelector{
+			entries: slices.Clone(g.sel.entries),
+			pops:    g.sel.pops,
+			stale:   g.sel.stale,
+		}
+	}
+	return c
+}

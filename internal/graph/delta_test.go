@@ -1,0 +1,381 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestApplyDeltaBasic(t *testing.T) {
+	g := New()
+	g.AddEdgeWeight(1, 2, 5)
+	g.AddEdgeWeight(2, 3, 9)
+	g.ApplyDelta([]WeightDelta{
+		{U: 1, V: 2, DW: 3},  // bump existing
+		{U: 3, V: 4, DW: 7},  // create new
+		{U: 2, V: 3, DW: -9}, // drive to zero: removal
+	})
+	if w := g.Weight(1, 2); w != 8 {
+		t.Errorf("weight(1,2) = %d, want 8", w)
+	}
+	if w := g.Weight(3, 4); w != 7 {
+		t.Errorf("weight(3,4) = %d, want 7", w)
+	}
+	if w := g.Weight(2, 3); w != 0 {
+		t.Errorf("weight(2,3) = %d, want 0 (removed)", w)
+	}
+}
+
+// Zero-DW deltas and self-loops are rejected as no-ops: in particular a
+// zero delta on an absent edge must not materialize a spurious weight-0
+// edge that HeaviestEdge would then consider selectable.
+func TestApplyDeltaZeroWeightRejection(t *testing.T) {
+	g := New()
+	g.AddEdgeWeight(1, 2, 5)
+	g.ApplyDelta([]WeightDelta{
+		{U: 7, V: 8, DW: 0}, // absent pair, zero delta
+		{U: 1, V: 2, DW: 0}, // present pair, zero delta
+		{U: 3, V: 3, DW: 4}, // self-loop
+	})
+	if g.NumEdges() != 1 || g.Weight(1, 2) != 5 {
+		t.Errorf("graph changed by no-op deltas: %d edges, weight(1,2)=%d",
+			g.NumEdges(), g.Weight(1, 2))
+	}
+	if g.HasNode(7) || g.HasNode(8) || g.HasNode(3) {
+		t.Error("no-op deltas materialized nodes")
+	}
+	if e, ok := g.HeaviestEdge(); !ok || e != (Edge{1, 2, 5}) {
+		t.Errorf("HeaviestEdge = %v,%v after no-op deltas", e, ok)
+	}
+}
+
+func TestApplyDeltaNegativeResultPanics(t *testing.T) {
+	g := New()
+	g.AddEdgeWeight(1, 2, 5)
+	defer func() {
+		if recover() == nil {
+			t.Error("ApplyDelta driving a weight negative did not panic")
+		}
+	}()
+	g.ApplyDelta([]WeightDelta{{U: 1, V: 2, DW: -6}})
+}
+
+// A delta that deletes the edge currently at the top of the active heap:
+// the stale entry must fail the liveness check and selection must move on
+// to the next-heaviest live edge, exactly as the scan oracle would.
+func TestApplyDeltaDeletesEdgeMidHeap(t *testing.T) {
+	g := New()
+	g.AddEdgeWeight(1, 2, 50)
+	g.AddEdgeWeight(2, 3, 30)
+	g.AddEdgeWeight(3, 4, 10)
+	if e, _ := g.HeaviestEdge(); e != (Edge{1, 2, 50}) { // activates heap
+		t.Fatalf("heaviest = %v", e)
+	}
+	g.ApplyDelta([]WeightDelta{{U: 1, V: 2, DW: -50}})
+	checkAgainstScan(t, g, -1, 0)
+	if e, ok := g.HeaviestEdge(); !ok || e != (Edge{2, 3, 30}) {
+		t.Errorf("after mid-heap deletion HeaviestEdge = %v,%v, want (2,3,30)", e, ok)
+	}
+	// Delete the new top as well; the third edge must surface.
+	g.ApplyDelta([]WeightDelta{{U: 2, V: 3, DW: -30}})
+	if e, ok := g.HeaviestEdge(); !ok || e != (Edge{3, 4, 10}) {
+		t.Errorf("after second deletion HeaviestEdge = %v,%v, want (3,4,10)", e, ok)
+	}
+}
+
+// Deltas applied before the selector was ever activated must leave the
+// lazily built heap agreeing with the oracle.
+func TestApplyDeltaNeverActivatedHeap(t *testing.T) {
+	g := New()
+	g.AddEdgeWeight(1, 2, 50)
+	g.AddEdgeWeight(2, 3, 30)
+	g.ApplyDelta([]WeightDelta{
+		{U: 1, V: 2, DW: -50}, // delete the would-be heaviest
+		{U: 2, V: 3, DW: 40},  // re-weight the survivor
+		{U: 4, V: 5, DW: 90},  // brand-new heaviest
+	})
+	if g.sel != nil {
+		t.Fatal("selector activated without a HeaviestEdge call")
+	}
+	checkAgainstScan(t, g, -1, 0)
+	if e, ok := g.HeaviestEdge(); !ok || e != (Edge{4, 5, 90}) {
+		t.Errorf("HeaviestEdge = %v,%v, want (4,5,90)", e, ok)
+	}
+}
+
+// Randomized differential: interleave ApplyDelta batches (increments,
+// deletions, creations) with selections and merges, comparing the heap
+// against the scan oracle at every step.
+func TestApplyDeltaDifferential(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		n := rng.Intn(20) + 2
+		randNode := func() NodeID { return NodeID(rng.Intn(n)) }
+		for step := 0; step < 80; step++ {
+			switch rng.Intn(6) {
+			case 0, 1, 2:
+				var ds []WeightDelta
+				seen := map[[2]NodeID]bool{}
+				for k := rng.Intn(4); k >= 0; k-- {
+					u, v := randNode(), randNode()
+					if u > v {
+						u, v = v, u
+					}
+					if seen[[2]NodeID{u, v}] {
+						continue // one delta per pair, as Diff produces
+					}
+					seen[[2]NodeID{u, v}] = true
+					dw := int64(rng.Intn(40) + 1)
+					if rng.Intn(3) == 0 {
+						dw = -g.Weight(u, v) // deletion (no-op if absent)
+					}
+					ds = append(ds, WeightDelta{U: u, V: v, DW: dw})
+				}
+				g.ApplyDelta(ds)
+			case 3:
+				g.AddEdgeWeight(randNode(), randNode(), int64(rng.Intn(30)+1))
+			case 4, 5:
+				if e, ok := g.HeaviestEdge(); ok {
+					g.MergeNodes(e.U, e.V)
+				}
+			}
+			checkAgainstScan(t, g, seed, step)
+		}
+	}
+}
+
+func TestDiffRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		build := func() *Graph {
+			g := New()
+			n := 12
+			for i := 0; i < 30; i++ {
+				u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+				if u != v {
+					g.AddEdgeWeight(u, v, int64(rng.Intn(20)+1))
+				}
+			}
+			return g
+		}
+		old, new := build(), build()
+		ds := Diff(old, new)
+		got := old.Clone()
+		got.ApplyDelta(ds)
+		ge, ne := got.Edges(), new.Edges()
+		if len(ge) != len(ne) {
+			t.Fatalf("seed %d: %d edges after apply, want %d", seed, len(ge), len(ne))
+		}
+		for i := range ge {
+			if ge[i] != ne[i] {
+				t.Fatalf("seed %d edge %d: got %v want %v", seed, i, ge[i], ne[i])
+			}
+		}
+		if len(Diff(old, old)) != 0 {
+			t.Fatalf("seed %d: Diff(g,g) not empty", seed)
+		}
+	}
+}
+
+func TestDiffSortedAndMinimal(t *testing.T) {
+	old, new := New(), New()
+	old.AddEdgeWeight(5, 6, 3) // removed
+	old.AddEdgeWeight(1, 2, 7) // unchanged
+	new.AddEdgeWeight(1, 2, 7)
+	new.AddEdgeWeight(0, 9, 4) // added
+	new.AddEdgeWeight(1, 3, 2) // added
+	want := []WeightDelta{{0, 9, 4}, {1, 3, 2}, {5, 6, -3}}
+	got := Diff(old, new)
+	if len(got) != len(want) {
+		t.Fatalf("Diff = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Diff[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// Snapshot must carry the selector: selections on the copy continue from
+// the snapshotted heap (stats preserved), mutations on either side stay
+// independent, and a copy taken before activation behaves like a Clone.
+func TestSnapshotCarriesSelector(t *testing.T) {
+	g := New()
+	g.AddEdgeWeight(1, 2, 5)
+	g.AddEdgeWeight(2, 3, 9)
+	if _, ok := g.HeaviestEdge(); !ok {
+		t.Fatal("no edge")
+	}
+	pops, stale := g.SelectorStats()
+	s := g.Snapshot()
+	if p, st := s.SelectorStats(); p != pops || st != stale {
+		t.Errorf("snapshot stats = %d,%d, want %d,%d", p, st, pops, stale)
+	}
+	s.MergeNodes(2, 3)
+	if e, _ := s.HeaviestEdge(); e != (Edge{1, 2, 5}) {
+		t.Errorf("snapshot heaviest after merge = %v", e)
+	}
+	if e, _ := g.HeaviestEdge(); e != (Edge{2, 3, 9}) {
+		t.Errorf("original disturbed by snapshot mutation: %v", e)
+	}
+	// Pre-activation snapshot: no selector, lazily built later.
+	fresh := New()
+	fresh.AddEdgeWeight(4, 5, 2)
+	c := fresh.Snapshot()
+	if c.sel != nil {
+		t.Error("snapshot of never-activated graph carries a selector")
+	}
+	if e, ok := c.HeaviestEdge(); !ok || e != (Edge{4, 5, 2}) {
+		t.Errorf("pre-activation snapshot HeaviestEdge = %v,%v", e, ok)
+	}
+}
+
+// ApplyDelta on a graph whose selector is not active mutates adjacency
+// maps in place: amortized zero allocations once map buckets exist,
+// matching the Edges() single-alloc discipline for the hot helpers.
+func TestApplyDeltaAllocations(t *testing.T) {
+	g := buildAllocGraph()
+	ds := []WeightDelta{{0, 1, 1}, {0, 4, 1}, {1, 2, 1}, {0, 1, -1}, {0, 4, -1}, {1, 2, -1}}
+	// Warm up so node maps exist for every touched pair.
+	g.ApplyDelta(ds)
+	if n := testing.AllocsPerRun(20, func() { g.ApplyDelta(ds) }); n != 0 {
+		t.Errorf("ApplyDelta allocs = %v, want 0 on existing edges with inactive selector", n)
+	}
+}
+
+func TestCanonicalDeltas(t *testing.T) {
+	cases := []struct {
+		name string
+		ds   []WeightDelta
+		want bool
+	}{
+		{"nil", nil, true},
+		{"sorted", []WeightDelta{{1, 2, 3}, {1, 4, -1}, {2, 3, 5}}, true},
+		{"unsorted", []WeightDelta{{2, 3, 5}, {1, 2, 3}}, false},
+		{"duplicate pair", []WeightDelta{{1, 2, 3}, {1, 2, 4}}, false},
+		{"swapped endpoints", []WeightDelta{{2, 1, 3}}, false},
+		{"self-loop", []WeightDelta{{1, 1, 3}}, false},
+		{"zero delta", []WeightDelta{{1, 2, 0}}, false},
+	}
+	for _, tc := range cases {
+		if got := CanonicalDeltas(tc.ds); got != tc.want {
+			t.Errorf("%s: CanonicalDeltas = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// MergeDeltas against the semantic oracle: applying base then add to a
+// graph must equal applying the merged slice, and the result must be
+// canonical. Randomized adds cover unsorted input, reversed endpoints,
+// repeated pairs, zero-netting pairs, self-loops and zero entries.
+func TestMergeDeltasDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(6) + 2
+		var base []WeightDelta
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(2) == 0 {
+					base = append(base, WeightDelta{NodeID(u), NodeID(v), rng.Int63n(9) - 4})
+				}
+			}
+		}
+		base = MergeDeltas(nil, base) // canonicalize (drops zero DWs)
+		if !CanonicalDeltas(base) {
+			t.Fatalf("trial %d: canonicalized base not canonical: %v", trial, base)
+		}
+		add := make([]WeightDelta, rng.Intn(8))
+		for i := range add {
+			u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+			add[i] = WeightDelta{u, v, rng.Int63n(9) - 4}
+		}
+		// Oracle: net per unordered pair over both slices.
+		type pair [2]NodeID
+		net := map[pair]int64{}
+		for _, s := range [][]WeightDelta{base, add} {
+			for _, d := range s {
+				if d.U == d.V || d.DW == 0 {
+					continue
+				}
+				u, v := d.U, d.V
+				if u > v {
+					u, v = v, u
+				}
+				net[pair{u, v}] += d.DW
+			}
+		}
+		got := MergeDeltas(base, add)
+		if !CanonicalDeltas(got) {
+			t.Fatalf("trial %d: MergeDeltas(%v, %v) = %v not canonical", trial, base, add, got)
+		}
+		want := 0
+		for _, dw := range net {
+			if dw != 0 {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("trial %d: %d entries, want %d (%v)", trial, len(got), want, got)
+		}
+		for _, d := range got {
+			if net[pair{d.U, d.V}] != d.DW {
+				t.Fatalf("trial %d: pair (%d,%d) = %d, want %d", trial, d.U, d.V, d.DW, net[pair{d.U, d.V}])
+			}
+		}
+	}
+}
+
+func TestDeltaCompareOrdersByPair(t *testing.T) {
+	a := WeightDelta{U: 1, V: 5, DW: 100}
+	b := WeightDelta{U: 1, V: 7, DW: -3}
+	c := WeightDelta{U: 2, V: 0, DW: 1}
+	if DeltaCompare(a, b) >= 0 || DeltaCompare(b, a) <= 0 {
+		t.Error("V must break ties for equal U")
+	}
+	if DeltaCompare(b, c) >= 0 {
+		t.Error("U must dominate")
+	}
+	if DeltaCompare(a, WeightDelta{U: 1, V: 5, DW: -9}) != 0 {
+		t.Error("DW must not participate in the order")
+	}
+}
+
+// PrimeSelector must build the selector on first use and rebuild it only
+// when the entry pool is badly bloated relative to the live edge count.
+func TestPrimeSelectorCompacts(t *testing.T) {
+	g := New()
+	for i := 0; i < 8; i++ {
+		g.AddEdgeWeight(NodeID(i), NodeID(i+1), int64(10+i))
+	}
+	g.PrimeSelector()
+	if g.sel == nil {
+		t.Fatal("PrimeSelector left no selector")
+	}
+	// Bloat the entry pool: repeated weight bumps each push an entry.
+	for round := 0; round < 40; round++ {
+		for i := 0; i < 8; i++ {
+			g.ApplyDelta([]WeightDelta{{U: NodeID(i), V: NodeID(i + 1), DW: 1}})
+		}
+	}
+	if len(g.sel.entries) <= 2*g.NumEdges()+16 {
+		t.Fatalf("bloat setup failed: %d entries for %d edges", len(g.sel.entries), g.NumEdges())
+	}
+	pops, stale := g.sel.pops, g.sel.stale
+	g.PrimeSelector()
+	if len(g.sel.entries) > 2*g.NumEdges()+16 {
+		t.Fatalf("PrimeSelector kept %d entries for %d edges", len(g.sel.entries), g.NumEdges())
+	}
+	if g.sel.pops != pops || g.sel.stale != stale {
+		t.Error("compaction must preserve the effort counters")
+	}
+	// Selection still agrees with a full scan after compaction.
+	e, ok := g.HeaviestEdge()
+	if !ok {
+		t.Fatal("no edge after compaction")
+	}
+	for _, ed := range g.Edges() {
+		if ed.W > e.W {
+			t.Fatalf("HeaviestEdge %+v missed heavier %+v", e, ed)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package incr
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/program"
+	"repro/internal/trg"
+)
+
+// This file is the invalidation analysis behind Engine.Update: given the
+// merge log of the current trajectory and a TRG delta, compute (a) the
+// per-step record patches Resume needs to keep the retained log equal to
+// a from-scratch log on the post-delta TRG, and (b) which logged
+// alignment decisions require exact re-scoring. The pop decisions
+// themselves are checked exactly by core.Recording.VerifyPops — a
+// graph-only replay that repeats the scratch loop's heap work but none
+// of its alignment scoring — so this analysis only has to localize
+// deltas to steps, not bound weight trajectories.
+//
+// It rests on two structural facts of the GBSC loop:
+//
+//   - A base select or place delta on procedure pair (a, b) lands on a
+//     popped quotient pair only at the step where a's and b's components
+//     unite (their join step): before it the endpoints are on opposite
+//     sides of no popped pair except the joining one, after it they are
+//     internal to one component. Delta pairs sharing a join step lie on
+//     the same popped pair, so their weights sum into one StepPatch.
+//   - Alignment scoring at a step walks only TRG_place edges BETWEEN the
+//     two merging nodes (accumulate filters on owner[far] == other), so
+//     a place delta influences exactly one logged alignment: its owning
+//     procedures' join step. Its reach into any single cost bucket is
+//     bounded: the two chunks occupy consecutive line runs of lengths p
+//     and q, so the line-pair differences hitting one bucket number at
+//     most min(p,q) per wrap of the difference range around the cost
+//     period — the perturbation mass is |dw|·min(p,q)·⌈(p+q−1)/period⌉
+//     (capped at |dw|·p·q, the total pair count). The chosen offset
+//     provably survives whenever the logged runner-up margin exceeds
+//     the summed mass at that step (the margin then erodes by the mass
+//     so it stays a sound bound for later updates). Steps whose margin
+//     cannot absorb the mass are routed to an exact re-score
+//     (Recording.RevalidateAlignments) instead of being invalidated
+//     outright.
+
+// analysis is the result of analyze: resume is the earliest potentially
+// invalidated step from the delta-consistency checks here (len(steps)
+// normally; the engine intersects it with VerifyPops' exact pop check
+// and the alignment re-scores), patches carries the record adjustments
+// for retained steps (net pop-weight change, alignment-margin erosion)
+// that Resume applies, and recheck lists steps (ascending) whose place
+// perturbation exceeds the logged margin.
+type analysis struct {
+	resume  int
+	patches map[int]core.StepPatch
+	recheck []int
+}
+
+// never marks a node the logged trajectory never absorbed.
+const never = int32(1) << 30
+
+// geometry is the static chunk geometry analyze consults per place delta,
+// flattened into dense arrays once per engine: owners[c] is chunk c's
+// procedure and lineCnt[c] bounds how many cache lines it occupies (the
+// line multiset size is static; only the line values shift with merges).
+// Replaces two owner binary searches and two ChunkBytes calls per delta.
+type geometry struct {
+	owners  []program.ProcID
+	lineCnt []int32
+}
+
+func newGeometry(chunker *program.Chunker, lineBytes int) *geometry {
+	nc := chunker.NumChunks()
+	g := &geometry{
+		owners:  make([]program.ProcID, nc),
+		lineCnt: make([]int32, nc),
+	}
+	for c := 0; c < nc; c++ {
+		p, _ := chunker.Owner(program.ChunkID(c))
+		g.owners[c] = p
+		g.lineCnt[c] = int32(chunker.ChunkBytes(program.ChunkID(c))/lineBytes) + 1
+	}
+	return g
+}
+
+// analyze localizes delta d to merge-log steps. rec's merge log must
+// reflect the pre-delta TRG (Resume's patching maintains this across
+// updates). nProcs is the procedure count; geo and the alignment period
+// bound each place delta's cost perturbation.
+func analyze(rec *core.Recording, nProcs int, d trg.Delta, geo *geometry, period int) analysis {
+	steps := rec.Steps
+	// Absorption forest over the logged merges: absorber[v] is the node
+	// that absorbed v, at step absStep[v]. Each node is absorbed at most
+	// once, and its absorber can only be absorbed later, so step numbers
+	// ascend strictly along every chain.
+	absorber := make([]graph.NodeID, nProcs)
+	absStep := make([]int32, nProcs)
+	for i := range absStep {
+		absStep[i] = never
+	}
+	for t, s := range steps {
+		absorber[s.V] = s.U
+		absStep[s.V] = int32(t)
+	}
+	// joinStep resolves the step where a's and b's components united, or
+	// -1 if they never did, by climbing both absorption chains smallest
+	// step first — the Kruskal max-edge-on-path query. Per-delta cost is
+	// the chain depth; no hashing, no per-pair state.
+	joinStep := func(a, b graph.NodeID) int {
+		jt := int32(-1)
+		for a != b {
+			ta, tb := absStep[a], absStep[b]
+			if ta <= tb {
+				if ta == never {
+					return -1
+				}
+				jt, a = ta, absorber[a]
+			} else {
+				jt, b = tb, absorber[b]
+			}
+		}
+		return int(jt)
+	}
+
+	dw := make([]int64, len(steps))   // net select-delta weight per join step
+	drop := make([]int64, len(steps)) // place perturbation mass per join step
+	resume := len(steps)
+	for _, wd := range d.Select {
+		if wd.DW == 0 || wd.U == wd.V {
+			continue
+		}
+		if j := joinStep(wd.U, wd.V); j >= 0 {
+			dw[j] += wd.DW
+		} else if wd.DW < 0 {
+			// Never joined in the old trajectory. A positive delta here is
+			// left to VerifyPops: the new edge either steals a logged pop
+			// (exact divergence there) or merges after the final
+			// checkpoint. A decrease is unrepresentable (positive base
+			// weight forces a join) — defensively replay everything
+			// instead of trusting an inconsistent delta.
+			resume = 0
+		}
+	}
+	for _, wd := range d.Place {
+		if wd.DW == 0 || wd.U == wd.V {
+			continue
+		}
+		pu, pv := geo.owners[wd.U], geo.owners[wd.V]
+		if pu == pv {
+			continue
+		}
+		j := joinStep(graph.NodeID(pu), graph.NodeID(pv))
+		if j < 0 {
+			// No join step means no logged alignment to perturb; if the
+			// pair merges during a replayed suffix, the overlay scores it.
+			continue
+		}
+		adw := wd.DW
+		if adw < 0 {
+			adw = -adw
+		}
+		// Per-bucket reach of this edge (see file comment): min(p,q) line
+		// pairs per wrap of the difference range, capped at p·q.
+		p, q := int64(geo.lineCnt[wd.U]), int64(geo.lineCnt[wd.V])
+		if p > q {
+			p, q = q, p
+		}
+		m := p * ((p+q-2)/int64(period) + 1)
+		if m > p*q {
+			m = p * q
+		}
+		drop[j] += adw * m
+	}
+
+	res := analysis{resume: resume, patches: map[int]core.StepPatch{}}
+	for t := range steps {
+		if dw[t] == 0 && drop[t] == 0 {
+			continue
+		}
+		p := core.StepPatch{DW: dw[t], MarginDrop: drop[t]}
+		// Place perturbation at the join. If the logged margin strictly
+		// dominates the perturbation mass the alignment provably holds
+		// and the margin just erodes; otherwise defer to an exact
+		// re-score (the conservative bound cannot distinguish a flipped
+		// argmin from a fragile tie that happens to survive).
+		if p.MarginDrop > 0 && steps[t].Margin <= p.MarginDrop {
+			res.recheck = append(res.recheck, t)
+			p.MarginDrop = 0
+		}
+		if p != (core.StepPatch{}) {
+			res.patches[t] = p
+		}
+	}
+	return res
+}

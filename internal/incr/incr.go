@@ -1,0 +1,324 @@
+// Package incr is the incremental GBSC re-placement engine: it keeps a
+// layout up to date under TRG edge-weight drift by replaying only the
+// suffix of the greedy merge sequence the drift can actually change,
+// instead of re-running the whole placement. The result is byte-identical
+// to a from-scratch GBSC run on the post-delta TRG — the engine trades
+// none of the paper's placement quality for its speed.
+//
+// It composes three mechanisms grown elsewhere: core.PlaceRecorded's
+// merge log with periodic deep checkpoints, graph.ApplyDelta's
+// heap-preserving weight updates, and the earliest-invalidated-merge
+// analysis in detect.go that bounds how far back a delta can reach.
+// Update restores the latest checkpoint at or before that bound and
+// replays from there; everything earlier is reused verbatim.
+package incr
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/popular"
+	"repro/internal/program"
+	"repro/internal/trg"
+)
+
+// Stats are cumulative counters over the engine's lifetime, mirroring the
+// incr/* telemetry keys.
+type Stats struct {
+	// Updates counts non-empty Update calls.
+	Updates int64
+	// MergesReused / MergesReplayed partition the merge work of every
+	// update: reused merges were kept from the log, replayed ones were
+	// re-executed. Their ratio is the engine's whole value proposition.
+	MergesReused   int64
+	MergesReplayed int64
+	// Snapshots counts checkpoints captured (initial run, every resume,
+	// every rebase).
+	Snapshots int64
+	// Rebases counts full re-recordings triggered by place-overlay growth.
+	Rebases int64
+}
+
+// Engine owns a TRG and the recorded placement trajectory over it. It is
+// not safe for concurrent use.
+type Engine struct {
+	prog *program.Program
+	pop  *popular.Set
+	cfg  cache.Config
+	res  *trg.Result
+	rec  *core.Recording
+
+	layout *program.Layout
+	// geo is the static chunk geometry consulted by analyze.
+	geo *geometry
+	// overlay accumulates the net place drift since the recording's base
+	// CSR was built (coalesced per pair after every update); Resume folds
+	// it into alignment scoring.
+	overlay        []graph.WeightDelta
+	basePlaceEdges int
+	// replayedSinceRebase counts merges re-executed against the current
+	// overlay; rebasing is amortized against it (see Update).
+	replayedSinceRebase int
+	stats               Stats
+}
+
+// New runs a recorded from-scratch placement and returns an engine ready
+// for deltas. It takes ownership of res — Update mutates its graphs; hand
+// in a trg.Result.Clone if the caller needs the original. A nil pop means
+// all procedures are popular. Only direct-mapped configs are supported
+// (the associative engine has no incremental path).
+func New(prog *program.Program, res *trg.Result, pop *popular.Set, cfg cache.Config) (*Engine, error) {
+	if cfg.Assoc != 1 {
+		return nil, fmt.Errorf("incr: only direct-mapped caches are supported (assoc %d)", cfg.Assoc)
+	}
+	if pop == nil {
+		pop = popular.All(prog)
+	}
+	layout, rec, err := core.PlaceRecorded(prog, res, pop, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		prog:           prog,
+		pop:            pop,
+		cfg:            cfg,
+		res:            res,
+		rec:            rec,
+		layout:         layout,
+		geo:            newGeometry(res.Chunker, cfg.LineBytes),
+		basePlaceEdges: res.Place.NumEdges(),
+	}
+	e.stats.Snapshots = rec.Snapshots()
+	return e, nil
+}
+
+// Layout returns the current layout (always byte-identical to a scratch
+// GBSC run on the engine's current TRG).
+func (e *Engine) Layout() *program.Layout { return e.layout }
+
+// Result returns the engine's owned TRG. The select graph is always
+// current. The place graph is deliberately kept at the recording's base —
+// alignment scoring reads an immutable CSR snapshot plus the overlay, so
+// updating the graph itself per delta would be pure bookkeeping cost — and
+// lags the true place graph by PlaceDrift() until a rebase folds the
+// drift in. Callers must not mutate it.
+func (e *Engine) Result() *trg.Result { return e.res }
+
+// PlaceDrift returns the net TRG_place weight drift since the recording's
+// base was captured: sorted by (U,V) with U < V, pairs netting to zero
+// dropped. Applying it to Result().Place (or a clone) yields the current
+// place graph.
+func (e *Engine) PlaceDrift() []graph.WeightDelta { return e.overlay }
+
+// Stats returns the cumulative counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Steps returns the current merge-log length (for introspection/tests).
+func (e *Engine) Steps() int { return len(e.rec.Steps) }
+
+// Fingerprint returns the merge-log fingerprint of the current
+// trajectory; equal to a scratch recording's fingerprint on the same TRG
+// exactly when the trajectories are byte-identical.
+func (e *Engine) Fingerprint() uint64 { return e.rec.Fingerprint() }
+
+// validate rejects deltas the engine cannot apply soundly before any
+// state is touched: out-of-range or unpopular select endpoints, negative
+// resulting weights, out-of-range place chunks. d must contain at most
+// one entry per pair (what trg.Diff produces) — the negativity check is
+// per entry against the current weights (for the place graph that is the
+// base weight plus the overlay's net drift). Entries that increase a
+// weight cannot drive it negative and skip the lookup.
+func (e *Engine) validate(d trg.Delta) error {
+	np := e.prog.NumProcs()
+	for _, wd := range d.Select {
+		if wd.U == wd.V || wd.DW == 0 {
+			continue
+		}
+		if wd.U < 0 || wd.V < 0 || int(wd.U) >= np || int(wd.V) >= np {
+			return fmt.Errorf("incr: select delta %+v out of range [0,%d)", wd, np)
+		}
+		if !e.pop.Contains(program.ProcID(wd.U)) || !e.pop.Contains(program.ProcID(wd.V)) {
+			return fmt.Errorf("incr: select delta %+v touches an unpopular procedure", wd)
+		}
+		if wd.DW < 0 {
+			if w := e.res.Select.Weight(wd.U, wd.V) + wd.DW; w < 0 {
+				return fmt.Errorf("incr: select delta %+v drives weight negative (%d)", wd, w)
+			}
+		}
+	}
+	nc := e.res.Chunker.NumChunks()
+	// Canonical deltas (what trg.Diff emits) co-walk the sorted overlay
+	// linearly; anything else falls back to a binary search per entry.
+	cowalk := graph.CanonicalDeltas(d.Place)
+	k := 0
+	for _, wd := range d.Place {
+		if wd.U == wd.V || wd.DW == 0 {
+			continue
+		}
+		if wd.U < 0 || wd.V < 0 || int(wd.U) >= nc || int(wd.V) >= nc {
+			return fmt.Errorf("incr: place delta %+v out of range [0,%d)", wd, nc)
+		}
+		if wd.DW >= 0 {
+			continue
+		}
+		var net int64
+		if cowalk {
+			for k < len(e.overlay) && graph.DeltaCompare(e.overlay[k], wd) < 0 {
+				k++
+			}
+			if k < len(e.overlay) && e.overlay[k].U == wd.U && e.overlay[k].V == wd.V {
+				net = e.overlay[k].DW
+			}
+		} else {
+			net = overlayNet(e.overlay, wd.U, wd.V)
+		}
+		// Base weights are non-negative, so the sum can only go negative
+		// when the drift-adjusted delta alone does — the base lookup is
+		// usually skipped entirely.
+		if net+wd.DW >= 0 {
+			continue
+		}
+		if w := e.res.Place.Weight(wd.U, wd.V) + net + wd.DW; w < 0 {
+			return fmt.Errorf("incr: place delta %+v drives weight negative (%d)", wd, w)
+		}
+	}
+	return nil
+}
+
+// effective reports whether any entry actually changes a weight —
+// self-loops and zero deltas are inert and skipped everywhere.
+func effective(d trg.Delta) bool {
+	for _, wd := range d.Select {
+		if wd.U != wd.V && wd.DW != 0 {
+			return true
+		}
+	}
+	for _, wd := range d.Place {
+		if wd.U != wd.V && wd.DW != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Update applies a TRG delta and brings the layout up to date, reusing
+// every logged merge the delta provably leaves unchanged. An empty delta
+// returns the current layout untouched. On error the engine state is
+// unchanged.
+func (e *Engine) Update(d trg.Delta) (*program.Layout, error) {
+	if err := e.validate(d); err != nil {
+		return nil, err
+	}
+	if !effective(d) {
+		return e.layout, nil
+	}
+
+	// The analysis reads the pre-delta merge log; apply the delta to the
+	// owned TRG afterwards so scratch comparisons see the new graphs.
+	det := analyze(e.rec, e.prog.NumProcs(), d, e.geo, e.cfg.NumLines())
+	// Exact pop check: replay the log's heap decisions over the
+	// post-delta quotient (graph work only, no alignment scoring). The
+	// first divergence it finds is the true first pop divergence.
+	v, drained := e.rec.VerifyPops(d.Select, det.patches)
+	if v >= 0 && v < det.resume {
+		det.resume = v
+	}
+	e.res.Select.ApplyDelta(d.Select)
+	// The place drift goes into the overlay, not the owned graph (see
+	// Result): kept at the net drift, not the update history, so reverting
+	// deltas cancel out and repeated drift on a pair stays one entry.
+	e.overlay = graph.MergeDeltas(e.overlay, d.Place)
+
+	// Exact alignment re-scores for the steps the margin bound couldn't
+	// clear; only candidates that would otherwise be reused matter.
+	if len(det.recheck) > 0 {
+		cand := det.recheck[:0]
+		for _, j := range det.recheck {
+			if j < det.resume {
+				cand = append(cand, j)
+			}
+		}
+		if f := e.rec.RevalidateAlignments(cand, e.overlay); f >= 0 && f < det.resume {
+			det.resume = f
+		}
+	}
+
+	var st core.ResumeStats
+	if drained && det.resume >= len(e.rec.Steps) {
+		// Nothing invalidated and no merges pending beyond the log: the
+		// prior layout IS the post-delta layout. Patch the retained state
+		// (checkpoint graphs, step weights, margins, fingerprints) and
+		// skip the replay and re-linearization entirely.
+		e.rec.PatchRetained(d.Select, det.patches)
+		st.Reused = len(e.rec.Steps)
+	} else {
+		ck := 0
+		for i := 1; i < e.rec.NumCheckpoints(); i++ {
+			if e.rec.CheckpointStep(i) <= det.resume {
+				ck = i
+			} else {
+				break
+			}
+		}
+		layout, rst, err := e.rec.Resume(ck, d.Select, e.overlay, det.patches)
+		if err != nil {
+			return nil, err
+		}
+		e.layout = layout
+		st = rst
+	}
+	e.stats.Updates++
+	e.stats.MergesReused += int64(st.Reused)
+	e.stats.MergesReplayed += int64(st.Replayed)
+	e.stats.Snapshots += int64(st.Snapshots)
+	e.replayedSinceRebase += st.Replayed
+
+	// A fat overlay taxes only the alignment searches of REPLAYED merges
+	// (reused merges never touch the place graph), so rebasing is
+	// amortized against replay work actually performed: once the merges
+	// re-scored against an oversized overlay add up to a full run's worth,
+	// one from-scratch re-record folds the overlay into a fresh base and
+	// has already paid for itself. The layout is unaffected (both paths
+	// are byte-identical to scratch); only the recording is reset.
+	if len(e.overlay) > e.basePlaceEdges/4+8 && e.replayedSinceRebase > len(e.rec.Steps) {
+		if err := e.rebase(); err != nil {
+			return nil, err
+		}
+	}
+	return e.layout, nil
+}
+
+// overlayNet returns the overlay's net drift on pair (u,v), zero when the
+// pair is absent (binary search over the canonical order).
+func overlayNet(ov []graph.WeightDelta, u, v graph.NodeID) int64 {
+	if u > v {
+		u, v = v, u
+	}
+	if k, ok := slices.BinarySearchFunc(ov, graph.WeightDelta{U: u, V: v}, graph.DeltaCompare); ok {
+		return ov[k].DW
+	}
+	return 0
+}
+
+func (e *Engine) rebase() error {
+	// Fold the outstanding drift into the owned place graph first — it has
+	// been held at the recording's base since the last rebase (see Result).
+	if len(e.overlay) > 0 {
+		e.res.Place.ApplyDelta(e.overlay)
+	}
+	layout, rec, err := core.PlaceRecorded(e.prog, e.res, e.pop, e.cfg)
+	if err != nil {
+		return err
+	}
+	e.rec = rec
+	e.layout = layout
+	e.overlay = nil
+	e.basePlaceEdges = e.res.Place.NumEdges()
+	e.replayedSinceRebase = 0
+	e.stats.Rebases++
+	e.stats.Snapshots += rec.Snapshots()
+	return nil
+}

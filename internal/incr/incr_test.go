@@ -1,0 +1,385 @@
+package incr
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/popular"
+	"repro/internal/program"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+	"repro/internal/trg"
+)
+
+// The differential oracle behind the byte-identity guarantee: randomized
+// drift schedules over the six suite benchmarks plus a synthetic
+// workload, each update checked layout-for-layout and merge-log
+// fingerprint-for-fingerprint against a from-scratch recorded placement
+// on the post-delta TRG. INCR_SEEDS scales the number of schedules (CI
+// runs >= 100 under -race; the default keeps `go test` quick).
+
+func schedulesPerWorkload(t *testing.T) int {
+	total := 14
+	if s := os.Getenv("INCR_SEEDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("bad INCR_SEEDS %q", s)
+		}
+		total = n
+	}
+	per := total / 7
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+func sameLayout(t *testing.T, ctx string, got, want *program.Layout, prog *program.Program) {
+	t.Helper()
+	for p := 0; p < prog.NumProcs(); p++ {
+		if got.Addr(program.ProcID(p)) != want.Addr(program.ProcID(p)) {
+			t.Fatalf("%s: proc %d at addr %d, scratch oracle %d",
+				ctx, p, got.Addr(program.ProcID(p)), want.Addr(program.ProcID(p)))
+		}
+	}
+}
+
+// randomDeltas mutates res in place with valid drift — select re-weights,
+// deletions and brand-new edges among popular procedures, place tweaks,
+// deletions and fresh chunk pairs — and returns the applied delta. At
+// most one entry per pair, matching what trg.Diff produces.
+func randomDeltas(rng *rand.Rand, res *trg.Result, pop *popular.Set) trg.Delta {
+	var d trg.Delta
+	type pair = [2]graph.NodeID
+	seen := map[pair]bool{}
+	addSel := func(u, v graph.NodeID, dw int64) {
+		if u == v || dw == 0 {
+			return
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[pair{u, v}] {
+			return
+		}
+		seen[pair{u, v}] = true
+		d.Select = append(d.Select, graph.WeightDelta{U: u, V: v, DW: dw})
+	}
+	for _, e := range res.Select.Edges() {
+		switch rng.Intn(28) {
+		case 0:
+			addSel(e.U, e.V, int64(rng.Intn(9)+1))
+		case 1:
+			addSel(e.U, e.V, -rng.Int63n(e.W)-1+rng.Int63n(2)) // shrink, sometimes to zero
+		}
+	}
+	for i := rng.Intn(4); i > 0 && pop.Len() >= 2; i-- {
+		u := graph.NodeID(pop.IDs[rng.Intn(pop.Len())])
+		v := graph.NodeID(pop.IDs[rng.Intn(pop.Len())])
+		if u != v && res.Select.Weight(u, v) == 0 {
+			addSel(u, v, int64(rng.Intn(25)+1))
+		}
+	}
+	seenP := map[pair]bool{}
+	for _, e := range res.Place.Edges() {
+		if rng.Intn(24) != 0 || seenP[pair{e.U, e.V}] {
+			continue
+		}
+		seenP[pair{e.U, e.V}] = true
+		dw := int64(rng.Intn(7) + 1)
+		if rng.Intn(3) == 0 {
+			dw = -e.W
+		}
+		d.Place = append(d.Place, graph.WeightDelta{U: e.U, V: e.V, DW: dw})
+	}
+	nc := res.Chunker.NumChunks()
+	for i := rng.Intn(3); i > 0 && nc >= 2; i-- {
+		u := graph.NodeID(rng.Intn(nc))
+		v := graph.NodeID(rng.Intn(nc))
+		if u != v && res.Place.Weight(u, v) == 0 && !seenP[pair{min(u, v), max(u, v)}] {
+			seenP[pair{min(u, v), max(u, v)}] = true
+			d.Place = append(d.Place, graph.WeightDelta{U: u, V: v, DW: int64(rng.Intn(5) + 1)})
+		}
+	}
+	res.Select.ApplyDelta(d.Select)
+	res.Place.ApplyDelta(d.Place)
+	return d
+}
+
+// runDriftSchedules drives one workload through `schedules` randomized
+// drift schedules. Even rounds drift by continuation (the training trace
+// grows a slice of the testing trace — the online re-placement story);
+// odd rounds apply random tweaks including deletions and new edges.
+// Returns the total merges reused across all schedules.
+func runDriftSchedules(t *testing.T, prog *program.Program, train, test *trace.Trace, pop *popular.Set, cfg cache.Config, schedules int, seed0 int64) int64 {
+	t.Helper()
+	opts := trg.Options{CacheBytes: cfg.SizeBytes, Popular: pop}
+	var reused int64
+	for s := 0; s < schedules; s++ {
+		rng := rand.New(rand.NewSource(seed0 + int64(s)))
+		base, err := trg.Build(prog, train, opts)
+		if err != nil {
+			t.Fatalf("schedule %d: base build: %v", s, err)
+		}
+		eng, err := New(prog, base.Clone(), pop, cfg)
+		if err != nil {
+			t.Fatalf("schedule %d: New: %v", s, err)
+		}
+		mirror := base
+		for round := 0; round < 3; round++ {
+			ctx := fmt.Sprintf("schedule %d round %d", s, round)
+			var d trg.Delta
+			if round%2 == 0 {
+				// Continuation drift: 2% of the testing trace, then 8%.
+				k := (round/2*3 + 1) * len(test.Events) / 50
+				k += rng.Intn(len(test.Events)/50 + 1)
+				if k > len(test.Events) {
+					k = len(test.Events)
+				}
+				drift := &trace.Trace{Events: append(append([]trace.Event(nil), train.Events...), test.Events[:k]...)}
+				next, err := trg.Build(prog, drift, opts)
+				if err != nil {
+					t.Fatalf("%s: drift build: %v", ctx, err)
+				}
+				d, err = trg.Diff(mirror, next)
+				if err != nil {
+					t.Fatalf("%s: Diff: %v", ctx, err)
+				}
+				mirror = next
+			} else {
+				mirror = mirror.Clone()
+				d = randomDeltas(rng, mirror, pop)
+			}
+			got, err := eng.Update(d)
+			if err != nil {
+				t.Fatalf("%s: Update: %v", ctx, err)
+			}
+			want, wantRec, err := core.PlaceRecorded(prog, mirror, pop, cfg)
+			if err != nil {
+				t.Fatalf("%s: scratch: %v", ctx, err)
+			}
+			sameLayout(t, ctx, got, want, prog)
+			if eng.Fingerprint() != wantRec.Fingerprint() {
+				t.Fatalf("%s: merge-log fingerprint %x, scratch %x (%d vs %d steps)",
+					ctx, eng.Fingerprint(), wantRec.Fingerprint(), eng.Steps(), len(wantRec.Steps))
+			}
+		}
+		st := eng.Stats()
+		if st.MergesReused+st.MergesReplayed == 0 && st.Updates > 0 {
+			t.Fatalf("schedule %d: no merge work accounted for %d updates", s, st.Updates)
+		}
+		reused += st.MergesReused
+	}
+	return reused
+}
+
+func TestUpdateMatchesScratchSuite(t *testing.T) {
+	schedules := schedulesPerWorkload(t)
+	cfg := cache.Config{SizeBytes: 1024, LineBytes: 32, Assoc: 1}
+	for i, p := range tracegen.Suite(0.01) {
+		i, p := i, p
+		t.Run(p.Bench.Name, func(t *testing.T) {
+			t.Parallel()
+			train := tracegen.Generate(p.Bench, p.Train, nil)
+			test := tracegen.Generate(p.Bench, p.Test, nil)
+			pop := popular.Select(p.Bench.Prog, train, popular.Options{})
+			reused := runDriftSchedules(t, p.Bench.Prog, train, test, pop, cfg, schedules, int64(i+1)*1000)
+			if reused == 0 {
+				t.Errorf("no merges reused across %d schedules — incremental path never engaged", schedules)
+			}
+		})
+	}
+	t.Run("synthetic", func(t *testing.T) {
+		t.Parallel()
+		for s := 0; s < schedules; s++ {
+			rng := rand.New(rand.NewSource(int64(900 + s)))
+			prog, train, test, pop := syntheticWorkload(rng)
+			runDriftSchedules(t, prog, train, test, pop, cfg, 1, int64(40_000+s))
+		}
+	})
+}
+
+// syntheticWorkload builds a small random program with train/test traces,
+// complementing the suite benches with degenerate shapes (tiny programs,
+// procedures larger than the cache, partial popularity).
+func syntheticWorkload(rng *rand.Rand) (*program.Program, *trace.Trace, *trace.Trace, *popular.Set) {
+	n := rng.Intn(10) + 3
+	procs := make([]program.Procedure, n)
+	for i := range procs {
+		procs[i] = program.Procedure{Name: fmt.Sprintf("p%d", i), Size: rng.Intn(1500) + 20}
+	}
+	prog := program.MustNew(procs)
+	gen := func(events int) *trace.Trace {
+		tr := &trace.Trace{}
+		for i := 0; i < events; i++ {
+			p := program.ProcID(rng.Intn(n))
+			ev := trace.Event{Proc: p}
+			if rng.Intn(4) == 0 {
+				ev.Extent = int32(rng.Intn(prog.Size(p)) + 1)
+			}
+			tr.Append(ev)
+		}
+		return tr
+	}
+	train, test := gen(rng.Intn(300)+150), gen(rng.Intn(200)+90)
+	pop := popular.All(prog)
+	if rng.Intn(2) == 0 {
+		if s := popular.Select(prog, train, popular.Options{Coverage: 0.8, MinCount: 2}); s.Len() > 0 {
+			pop = s
+		}
+	}
+	return prog, train, test, pop
+}
+
+func TestUpdateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	prog, train, _, _ := syntheticWorkload(rng)
+	pop := popular.Select(prog, train, popular.Options{Coverage: 0.5, MinCount: 1})
+	if pop.Len() == 0 || pop.Len() == prog.NumProcs() {
+		// Force a partial set: popular procs 0..1 by construction.
+		t.Skip("degenerate popular set")
+	}
+	cfg := cache.Config{SizeBytes: 512, LineBytes: 32, Assoc: 1}
+	res, err := trg.Build(prog, train, trg.Options{CacheBytes: cfg.SizeBytes, Popular: pop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(prog, res.Clone(), pop, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Layout()
+	np := graph.NodeID(prog.NumProcs())
+	nc := graph.NodeID(res.Chunker.NumChunks())
+	var unpop graph.NodeID = -1
+	for p := 0; p < prog.NumProcs(); p++ {
+		if !pop.Contains(program.ProcID(p)) {
+			unpop = graph.NodeID(p)
+			break
+		}
+	}
+	popID := graph.NodeID(pop.IDs[0])
+	cases := []struct {
+		name string
+		d    trg.Delta
+	}{
+		{"select out of range", trg.Delta{Select: []graph.WeightDelta{{U: 0, V: np, DW: 1}}}},
+		{"select negative id", trg.Delta{Select: []graph.WeightDelta{{U: -2, V: popID, DW: 1}}}},
+		{"select unpopular", trg.Delta{Select: []graph.WeightDelta{{U: popID, V: unpop, DW: 1}}}},
+		{"select negative weight", trg.Delta{Select: []graph.WeightDelta{{U: popID, V: graph.NodeID(pop.IDs[1]), DW: -1 << 40}}}},
+		{"place out of range", trg.Delta{Place: []graph.WeightDelta{{U: 0, V: nc, DW: 1}}}},
+		{"place negative weight", trg.Delta{Place: []graph.WeightDelta{{U: 0, V: 1, DW: -1 << 40}}}},
+	}
+	for _, tc := range cases {
+		if _, err := eng.Update(tc.d); err == nil {
+			t.Errorf("%s: Update accepted %+v", tc.name, tc.d)
+		}
+	}
+	if eng.Layout() != before || eng.Stats().Updates != 0 {
+		t.Error("rejected updates disturbed engine state")
+	}
+	// Self-loops and zero deltas are inert, not errors.
+	l, err := eng.Update(trg.Delta{Select: []graph.WeightDelta{{U: popID, V: popID, DW: 5}, {U: popID, V: graph.NodeID(pop.IDs[1]), DW: 0}}})
+	if err != nil || l != before {
+		t.Errorf("inert delta: layout %p err %v, want unchanged %p", l, err, before)
+	}
+	if _, err := New(prog, res.Clone(), pop, cache.Config{SizeBytes: 512, LineBytes: 32, Assoc: 2}); err == nil {
+		t.Error("New accepted an associative config")
+	}
+}
+
+func TestEmptyUpdateIsFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	prog, train, _, pop := syntheticWorkload(rng)
+	cfg := cache.Config{SizeBytes: 512, LineBytes: 32, Assoc: 1}
+	res, err := trg.Build(prog, train, trg.Options{CacheBytes: cfg.SizeBytes, Popular: pop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(prog, res, pop, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0 := eng.Layout()
+	l, err := eng.Update(trg.Delta{})
+	if err != nil || l != l0 {
+		t.Fatalf("empty update: %p, %v; want %p, nil", l, err, l0)
+	}
+	if st := eng.Stats(); st.Updates != 0 || st.MergesReplayed != 0 {
+		t.Fatalf("empty update did work: %+v", st)
+	}
+}
+
+// Sustained place drift must eventually trigger a rebase, and updates
+// after the rebase must stay byte-identical to scratch.
+func TestRebaseUnderPlaceDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	prog, train, test, pop := syntheticWorkload(rng)
+	cfg := cache.Config{SizeBytes: 512, LineBytes: 32, Assoc: 1}
+	opts := trg.Options{CacheBytes: cfg.SizeBytes, Popular: pop}
+	res, err := trg.Build(prog, train, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = test
+	eng, err := New(prog, res.Clone(), pop, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror := res
+	nc := mirror.Chunker.NumChunks()
+	// Rebasing is amortized against replay work (see Update), so the drift
+	// must both fatten the overlay and actually invalidate alignments:
+	// heavy place deltas on random chunk pairs do both.
+	for round := 0; round < 200 && eng.Stats().Rebases == 0; round++ {
+		mirror = mirror.Clone()
+		u := graph.NodeID(rng.Intn(nc))
+		v := graph.NodeID(rng.Intn(nc))
+		if u == v {
+			continue
+		}
+		d := trg.Delta{Place: []graph.WeightDelta{{U: u, V: v, DW: int64(rng.Intn(100) + 1)}}}
+		mirror.Place.ApplyDelta(d.Place)
+		got, err := eng.Update(d)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		want, err := core.Place(prog, mirror, pop, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameLayout(t, fmt.Sprintf("round %d", round), got, want, prog)
+	}
+	if eng.Stats().Rebases == 0 {
+		t.Fatal("200 place-drift rounds never triggered a rebase")
+	}
+	// The rebase folded the drift into the owned place graph: the overlay
+	// must be empty and Result().Place current again.
+	if len(eng.PlaceDrift()) != 0 {
+		t.Fatalf("post-rebase PlaceDrift has %d entries, want 0", len(eng.PlaceDrift()))
+	}
+	if d := graph.Diff(eng.Result().Place, mirror.Place); len(d) != 0 {
+		t.Fatalf("post-rebase place graph lags mirror by %d deltas", len(d))
+	}
+	// One more tweak after the rebase: the fresh recording must resume.
+	mirror = mirror.Clone()
+	d := randomDeltas(rng, mirror, pop)
+	got, err := eng.Update(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantRec, err := core.PlaceRecorded(prog, mirror, pop, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameLayout(t, "post-rebase", got, want, prog)
+	if eng.Fingerprint() != wantRec.Fingerprint() {
+		t.Fatalf("post-rebase fingerprint %x, scratch %x", eng.Fingerprint(), wantRec.Fingerprint())
+	}
+}

@@ -170,6 +170,14 @@ type DiffOptions struct {
 	// histograms and timers are skipped entirely — a sampled run
 	// legitimately replays a different amount of work.
 	WithinCI bool
+	// AllowNewKeys downgrades benchmarks and miss-rate cells present only
+	// in the new report from drift to informational notes — the gate for
+	// comparing a baseline against a candidate that legitimately added
+	// measurements (a new experiment, a new algorithm column). Keys
+	// present only in the old report still drift: a candidate silently
+	// dropping a measurement is exactly what the presence check exists to
+	// catch.
+	AllowNewKeys bool
 }
 
 // Finding is one comparison result. Drift findings are gate failures;
@@ -231,7 +239,7 @@ func diffMissRates(old, new *Report, o DiffOptions) []Finding {
 		ob, inOld := oldB[name]
 		nb, inNew := newB[name]
 		if !inOld || !inNew {
-			fs = append(fs, Finding{Drift: true, Kind: "schema", Key: "benchmark/" + name,
+			fs = append(fs, Finding{Drift: !(o.AllowNewKeys && inNew), Kind: "schema", Key: "benchmark/" + name,
 				Detail: presence(inOld, inNew)})
 			continue
 		}
@@ -243,7 +251,7 @@ func diffMissRates(old, new *Report, o DiffOptions) []Finding {
 			nmr, inN := nb.MissRates[alg]
 			key := name + "/" + alg
 			if !inO || !inN {
-				fs = append(fs, Finding{Drift: true, Kind: "missrate", Key: key,
+				fs = append(fs, Finding{Drift: !(o.AllowNewKeys && inN), Kind: "missrate", Key: key,
 					Detail: presence(inO, inN)})
 				continue
 			}

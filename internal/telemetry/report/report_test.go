@@ -90,6 +90,37 @@ func TestDiffMissRateDrift(t *testing.T) {
 	}
 }
 
+func TestDiffAllowNewKeys(t *testing.T) {
+	a, b := sampleReport(), sampleReport()
+	// Additive evolution: a new benchmark section and a new algorithm
+	// column in the candidate pass under AllowNewKeys but stay visible as
+	// notes.
+	b.AddMissRate("vortex", "GBSC", 0.02)
+	b.AddMissRate("perl", "HKC", 0.05)
+	if fs := Diff(a, b, DiffOptions{}); !HasDrift(fs) {
+		t.Error("added keys must drift without AllowNewKeys")
+	}
+	fs := Diff(a, b, DiffOptions{AllowNewKeys: true})
+	if HasDrift(fs) {
+		t.Errorf("added keys drift despite AllowNewKeys: %v", fs)
+	}
+	if len(fs) != 2 {
+		t.Errorf("added keys should surface as notes, got %v", fs)
+	}
+	// Removal is never additive: a cell missing from the candidate still
+	// fails, AllowNewKeys or not.
+	c := sampleReport()
+	delete(c.Benchmarks[0].MissRates, "PH") // perl loses its PH cell
+	if fs := Diff(a, c, DiffOptions{AllowNewKeys: true}); !HasDrift(fs) {
+		t.Error("removed miss-rate cell must drift under AllowNewKeys")
+	}
+	d := sampleReport()
+	d.Benchmarks = d.Benchmarks[1:] // drop perl
+	if fs := Diff(a, d, DiffOptions{AllowNewKeys: true}); !HasDrift(fs) {
+		t.Error("removed benchmark must drift under AllowNewKeys")
+	}
+}
+
 func TestDiffCounterDrift(t *testing.T) {
 	a, b := sampleReport(), sampleReport()
 	b.Counters["cache/misses"] = 124

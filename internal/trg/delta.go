@@ -1,0 +1,54 @@
+package trg
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Delta is the edge-weight difference between two TRG builds over the
+// same program and chunk geometry: the adjustments that transform the old
+// build's graphs into the new build's. It is the drift currency of the
+// incremental placement engine (internal/incr): extract a Delta from two
+// Results (Diff) — batch rebuilds, or two snapshots of the online
+// Builder's Result — and feed it to incr.Engine.Update.
+type Delta struct {
+	Select []graph.WeightDelta
+	Place  []graph.WeightDelta
+}
+
+// Empty reports whether the delta changes nothing.
+func (d Delta) Empty() bool { return len(d.Select) == 0 && len(d.Place) == 0 }
+
+// Diff computes the Delta transforming old into new. The two results must
+// share chunk geometry (same chunk count and size — i.e. the same program
+// and ChunkSize option); chunk IDs are otherwise not comparable across
+// builds and the delta would be meaningless.
+func Diff(old, new *Result) (Delta, error) {
+	if old == nil || new == nil {
+		return Delta{}, fmt.Errorf("trg: Diff requires two non-nil results")
+	}
+	if old.Chunker.NumChunks() != new.Chunker.NumChunks() ||
+		old.Chunker.ChunkSize() != new.Chunker.ChunkSize() {
+		return Delta{}, fmt.Errorf("trg: Diff chunk geometry mismatch: %d chunks of %dB vs %d chunks of %dB",
+			old.Chunker.NumChunks(), old.Chunker.ChunkSize(),
+			new.Chunker.NumChunks(), new.Chunker.ChunkSize())
+	}
+	return Delta{
+		Select: graph.Diff(old.Select, new.Select),
+		Place:  graph.Diff(old.Place, new.Place),
+	}, nil
+}
+
+// Clone returns a deep copy of the result's graphs. The chunker is shared
+// (it is immutable). Use it to hand a Result to an owner that will mutate
+// it — the incremental engine applies deltas to the Result it is given —
+// while keeping the original for later diffing.
+func (r *Result) Clone() *Result {
+	return &Result{
+		Select:    r.Select.Clone(),
+		Place:     r.Place.Clone(),
+		Chunker:   r.Chunker,
+		AvgQProcs: r.AvgQProcs,
+	}
+}

@@ -1,0 +1,154 @@
+package trg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/popular"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+func deltaScenario(t *testing.T, seed int64) (*program.Program, *trace.Trace, Options) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := rng.Intn(10) + 3
+	procs := make([]program.Procedure, n)
+	for i := range procs {
+		procs[i] = program.Procedure{Name: string(rune('a' + i)), Size: rng.Intn(700) + 30}
+	}
+	prog := program.MustNew(procs)
+	tr := &trace.Trace{}
+	for i := 0; i < 500; i++ {
+		p := program.ProcID(rng.Intn(n))
+		tr.Append(trace.Event{Proc: p, Extent: int32(rng.Intn(prog.Size(p)) + 1)})
+	}
+	return prog, tr, Options{CacheBytes: 512, ChunkSize: 128}
+}
+
+// Diffing a prefix build against the full build and applying the delta to
+// the prefix must reproduce the full build's graphs — the exact drift
+// path the incremental engine consumes.
+func TestDiffPrefixToFullRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		prog, tr, opts := deltaScenario(t, seed)
+		cut := len(tr.Events) / 2
+		prefix := &trace.Trace{Events: tr.Events[:cut]}
+		old, err := Build(prog, prefix, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		new, err := Build(prog, tr, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		d, err := Diff(old, new)
+		if err != nil {
+			t.Fatalf("seed %d: Diff: %v", seed, err)
+		}
+		got := old.Clone()
+		got.Select.ApplyDelta(d.Select)
+		got.Place.ApplyDelta(d.Place)
+		ge, ne := got.Select.Edges(), new.Select.Edges()
+		if len(ge) != len(ne) {
+			t.Fatalf("seed %d: %d select edges, want %d", seed, len(ge), len(ne))
+		}
+		for i := range ge {
+			if ge[i] != ne[i] {
+				t.Fatalf("seed %d: select edge %d = %v, want %v", seed, i, ge[i], ne[i])
+			}
+		}
+		gp, np := got.Place.Edges(), new.Place.Edges()
+		if len(gp) != len(np) {
+			t.Fatalf("seed %d: %d place edges, want %d", seed, len(gp), len(np))
+		}
+		for i := range gp {
+			if gp[i] != np[i] {
+				t.Fatalf("seed %d: place edge %d = %v, want %v", seed, i, gp[i], np[i])
+			}
+		}
+		// Same-build diff is empty.
+		if d2, err := Diff(new, new); err != nil || !d2.Empty() {
+			t.Fatalf("seed %d: Diff(x,x) = %+v, %v", seed, d2, err)
+		}
+	}
+}
+
+// Diffing across incompatible chunk geometries must fail: chunk IDs are
+// not comparable between different ChunkSize options.
+func TestDiffGeometryMismatch(t *testing.T) {
+	prog, tr, opts := deltaScenario(t, 99)
+	a, err := Build(prog, tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts2 := opts
+	opts2.ChunkSize = 64
+	b, err := Build(prog, tr, opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Diff(a, b); err == nil {
+		t.Error("Diff across chunk geometries did not fail")
+	}
+	if _, err := Diff(nil, a); err == nil {
+		t.Error("Diff(nil, x) did not fail")
+	}
+}
+
+// Popularity filtering must survive the diff round trip: deltas between
+// two builds with the same popular set never touch unpopular procedures.
+func TestDiffRespectsPopularSet(t *testing.T) {
+	prog, tr, opts := deltaScenario(t, 7)
+	pop := popular.Select(prog, tr, popular.Options{Coverage: 0.6, MinCount: 2})
+	if pop.Len() == 0 || pop.Len() == prog.NumProcs() {
+		t.Skip("degenerate popular set for this scenario")
+	}
+	opts.Popular = pop
+	cut := len(tr.Events) / 3
+	old, err := Build(prog, &trace.Trace{Events: tr.Events[:cut]}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	new, err := Build(prog, tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Diff(old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wd := range d.Select {
+		if !pop.Contains(program.ProcID(wd.U)) || !pop.Contains(program.ProcID(wd.V)) {
+			t.Fatalf("select delta %+v touches unpopular procedure", wd)
+		}
+	}
+	for _, wd := range d.Place {
+		pu, _ := old.Chunker.Owner(program.ChunkID(wd.U))
+		pv, _ := old.Chunker.Owner(program.ChunkID(wd.V))
+		if !pop.Contains(pu) || !pop.Contains(pv) {
+			t.Fatalf("place delta %+v touches unpopular procedure", wd)
+		}
+	}
+}
+
+func TestResultCloneIndependence(t *testing.T) {
+	prog, tr, opts := deltaScenario(t, 3)
+	res, err := Build(prog, tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Clone()
+	if c.Chunker != res.Chunker {
+		t.Error("Clone must share the immutable chunker")
+	}
+	if c.AvgQProcs != res.AvgQProcs {
+		t.Errorf("AvgQProcs = %v, want %v", c.AvgQProcs, res.AvgQProcs)
+	}
+	before := res.Select.TotalWeight()
+	c.Select.AddEdgeWeight(0, 1, 1000)
+	c.Place.AddEdgeWeight(0, 1, 1000)
+	if res.Select.TotalWeight() != before {
+		t.Error("mutating the clone's select graph disturbed the original")
+	}
+}

@@ -18,6 +18,7 @@ var nodetermScope = []string{
 	"repro/internal/cache",
 	"repro/internal/sample",
 	"repro/internal/staticcache",
+	"repro/internal/incr",
 	"repro/internal/telemetry",
 }
 
