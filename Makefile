@@ -72,6 +72,12 @@ STATIC_BENCHES = ^(BenchmarkStaticModel|BenchmarkStaticAnalyze|BenchmarkStaticEx
 # Scratch at ≤5% select-weight drift (the fixture reports its drift%).
 INCR_BENCHES = ^(BenchmarkIncrementalReplace|BenchmarkScratchReplace)$$
 
+# Layout-batched replay (BENCH_batch.json): the 16-lane batched walk vs
+# 16 sequential RunCompiled walks of the same GBSC layout panel (the ≥3×
+# layout·events/sec headline), and the batched+abandoning exhaustive
+# search vs its frozen serial baseline (the ≥2× wall-time headline).
+BATCH_BENCHES = ^(BenchmarkRunCompiledSerial16|BenchmarkRunCompiledBatch16|BenchmarkOptimalSearchSerial|BenchmarkOptimalSearchBatched)$$
+
 bench-json:
 	$(GO) test -run '^$$' -bench '$(GBSC_BENCHES)' -benchmem \
 		-benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_gbsc.json
@@ -83,6 +89,8 @@ bench-json:
 		-benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_static.json
 	$(GO) test -run '^$$' -bench '$(INCR_BENCHES)' -benchmem \
 		-benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_incr.json
+	$(GO) test -run '^$$' -bench '$(BATCH_BENCHES)' -benchmem \
+		-benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_batch.json
 
 # Regenerate the full paper evaluation (EXPERIMENTS.md numbers).
 experiments:

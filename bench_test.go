@@ -20,6 +20,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/incr"
+	"repro/internal/optimal"
 	"repro/internal/popular"
 	"repro/internal/sample"
 	"repro/internal/staticcache"
@@ -284,7 +285,7 @@ func BenchmarkGBSCPlacement(b *testing.B) {
 
 // BenchmarkMergeNodes times just the merging phase via Assign.
 func BenchmarkMergeNodes(b *testing.B) {
-	art := prepareArtifacts(b, "perl", 0.3)
+	art := prepareArtifacts(b, "m88ksim", 0.3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Assign(art.pair.Bench.Prog, art.res, art.pop, cache.PaperConfig); err != nil {
@@ -326,7 +327,7 @@ func BenchmarkHeaviestEdge(b *testing.B) {
 // of the edge-driven scorer at the midpoint of a perl merge run (both
 // nodes carry many procedures).
 func BenchmarkBestAlignment(b *testing.B) {
-	art := prepareArtifacts(b, "perl", 0.3)
+	art := prepareArtifacts(b, "m88ksim", 0.3)
 	search, err := core.NewAlignmentBench(art.pair.Bench.Prog, art.res, art.pop, cache.PaperConfig)
 	if err != nil {
 		b.Fatal(err)
@@ -614,6 +615,141 @@ func BenchmarkCompileTrace(b *testing.B) {
 		ct := cache.CompileTrace(prog, tr)
 		if ct.Len() != len(tr.Events) {
 			b.Fatal("short compilation")
+		}
+	}
+}
+
+// --- Layout-batched replay (internal/cache BatchSim) -----------------------
+
+// batchReplayFixture builds the multi-layout scoring workload for the
+// batched-replay benchmarks: the m88ksim testing trace compiled once, plus
+// 16 perturbed variants of the GBSC placement — the candidate panel a
+// Figure 5 run scores against one trace (placed layouts from jittered
+// profiles, all scored on the same testing trace).
+func batchReplayFixture(b *testing.B) (cache.Config, *cache.CompiledTrace, []*Layout) {
+	b.Helper()
+	art := prepareArtifacts(b, "m88ksim", 0.3)
+	prog := art.pair.Bench.Prog
+	layout, err := core.Place(prog, art.res, art.pop, cache.PaperConfig)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := art.pair.Bench.Trace(art.pair.Test)
+	ct := cache.CompileTrace(prog, tr)
+	rng := rand.New(rand.NewSource(11))
+	layouts := make([]*Layout, 16)
+	layouts[0] = layout
+	for i := 1; i < len(layouts); i++ {
+		l := layout.Clone()
+		p := ProcID(rng.Intn(prog.NumProcs()))
+		l.SetAddr(p, l.Addr(p)+32*(1+rng.Intn(8)))
+		layouts[i] = l
+	}
+	return cache.PaperConfig, ct, layouts
+}
+
+// BenchmarkRunCompiledSerial16 scores the 16-layout panel the pre-batching
+// way: 16 independent walks of the compiled trace through one reused
+// simulator. The layout·events/sec metric is the BENCH_batch.json baseline.
+func BenchmarkRunCompiledSerial16(b *testing.B) {
+	cfg, ct, layouts := batchReplayFixture(b)
+	sim := cache.MustNewSim(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, l := range layouts {
+			st := sim.RunCompiled(ct, l)
+			if st.Refs == 0 {
+				b.Fatal("empty replay")
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(layouts))*float64(ct.Len())*float64(b.N)/b.Elapsed().Seconds(), "layout·events/sec")
+}
+
+// BenchmarkRunCompiledBatch16 scores the same panel in one walk of the
+// compiled trace with 16 interleaved cache states, layout compilation
+// included in the timed loop (acceptance: ≥3× the serial layout·events/sec).
+func BenchmarkRunCompiledBatch16(b *testing.B) {
+	cfg, ct, layouts := batchReplayFixture(b)
+	bs := cache.MustNewBatchSim(cfg)
+	tables := make([]*cache.CompiledLayout, len(layouts))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		for k, l := range layouts {
+			if tables[k], err = cache.CompileLayout(cfg, ct, l); err != nil {
+				b.Fatal(err)
+			}
+		}
+		res, err := bs.Run(ct, tables, cache.BatchOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats[0].Refs == 0 {
+			b.Fatal("empty replay")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(layouts))*float64(ct.Len())*float64(b.N)/b.Elapsed().Seconds(), "layout·events/sec")
+}
+
+// optimalSearchFixture builds the exhaustive-search workload for the batched
+// search benchmarks: one of the optimality experiment's loop-structured tiny
+// programs on the 4-line cache.
+func optimalSearchFixture(b *testing.B) (*Program, *Trace, cache.Config) {
+	b.Helper()
+	tiny := cache.Config{SizeBytes: 128, LineBytes: 32, Assoc: 1}
+	rng := rand.New(rand.NewSource(3))
+	const n = 5
+	procs := make([]Procedure, n)
+	for i := range procs {
+		procs[i] = Procedure{Name: "p" + string(rune('a'+i)), Size: 32 * (rng.Intn(2) + 1)}
+	}
+	prog, err := NewProgram(procs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := &Trace{}
+	for tr.Len() < 500 {
+		if rng.Intn(2) == 0 {
+			sweeps := rng.Intn(8) + 2
+			for s := 0; s < sweeps; s++ {
+				for p := 0; p < n; p++ {
+					tr.Append(Event{Proc: ProcID(p)})
+				}
+			}
+		} else {
+			walk := rng.Intn(20) + 5
+			for i := 0; i < walk; i++ {
+				tr.Append(Event{Proc: ProcID(rng.Intn(n))})
+			}
+		}
+	}
+	return prog, tr, tiny
+}
+
+// BenchmarkOptimalSearchSerial times the screened serial reference search —
+// one replay per surviving candidate (the PR 8 engine).
+func BenchmarkOptimalSearchSerial(b *testing.B) {
+	prog, tr, tiny := optimalSearchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := optimal.SearchReference(prog, tr, tiny); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimalSearchBatched times the production search: 16-lane batched
+// replay with incumbent-budget early abandonment on top of the static
+// screen (acceptance: ≥2× the serial search with a byte-identical winner).
+func BenchmarkOptimalSearchBatched(b *testing.B) {
+	prog, tr, tiny := optimalSearchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := optimal.Search(prog, tr, tiny); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

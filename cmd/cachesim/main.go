@@ -9,9 +9,12 @@
 //	cachesim -prog perl.prog -layout a.layout,b.layout -trace perl-test.trace
 //
 // With a comma-separated -layout list every layout is replayed against the
-// same trace: the trace is compiled once and a single simulator is reused
-// across runs (reset between layouts), so comparing candidate layouts costs
-// one trace load and one compilation no matter how many layouts are given.
+// same trace: the trace is compiled once and the layouts score in batches
+// of -batch lanes through one shared walk of the compiled trace each
+// (internal/cache BatchSim), so comparing candidate layouts costs one
+// trace load, one compilation, and a fraction of the per-layout replays.
+// -batch 1 falls back to the serial engine (one reused simulator, reset
+// between layouts); the printed figures are byte-identical either way.
 //
 // -sample replaces the exact replay with the phase-aware sampled estimator
 // (internal/sample): one window plan is built from the trace and each
@@ -72,6 +75,7 @@ func run() error {
 	sampleWindows := flag.Int("sample-windows", 0, "sampled windows per trace (0 = default 12)")
 	sampleInterval := flag.Int("sample-interval", 0, "sampled window length in events (0 = derive from trace length)")
 	staticBounds := flag.Bool("static-bounds", false, "also compute static must/may miss-rate bounds per layout and cross-check them against the exact run (incompatible with -sample)")
+	batch := flag.Int("batch", 0, "batched replay lane width for multi-layout runs (0 = default 16, 1 = serial engine); printed figures are identical at every setting")
 	flag.Parse()
 
 	checkMode, err := invariant.ParseMode(*checkFlag)
@@ -195,6 +199,16 @@ func run() error {
 	// (RunCompiled resets it between runs).
 	ct := cache.CompileTrace(prog, tr)
 	multi := len(layouts) > 1
+	lanes := *batch
+	if lanes <= 0 {
+		lanes = 16
+	}
+	addBatch := func(d cache.BatchStats) {
+		sh.Add("cache/batch_lanes", d.Lanes)
+		sh.Add("cache/batch_abandoned_lanes", d.AbandonedLanes)
+		sh.Add("cache/batch_lane_events", d.LaneEvents)
+		sh.Add("cache/batch_lane_events_saved", d.LaneEventsSaved)
+	}
 	addReplay := func(rs cache.ReplayStats) {
 		sh.Add("cache/replay_events", rs.Events)
 		sh.Add("cache/replay_fast_events", rs.FastEvents)
@@ -289,13 +303,41 @@ func run() error {
 		ev := sample.NewEvaluator(ct, plan)
 		fmt.Printf("sampling: %d of %d windows (interval %d events, warm-up %d), replaying %.1f%% of events\n",
 			len(plan.Windows), plan.Partitions, plan.Interval, plan.Warmup, 100*plan.ReplayFraction())
-		for i, layout := range layouts {
+		// Multi-layout runs score lane-batched: each window walks once for
+		// the whole chunk; the estimates are bit-identical to the serial
+		// evaluator's.
+		ests := make([]sample.Estimate, len(layouts))
+		if multi && lanes > 1 {
+			bs, err := cache.NewBatchSim(cfg)
+			if err != nil {
+				return err
+			}
+			for lo := 0; lo < len(layouts); lo += lanes {
+				hi := min(lo+lanes, len(layouts))
+				start := time.Now()
+				before := bs.Batch()
+				chunk, err := ev.MissRateBatch(bs, layouts[lo:hi])
+				if err != nil {
+					return err
+				}
+				sh.AddDuration("cachesim/sim_wall", time.Since(start))
+				d := bs.Batch()
+				sh.Add("cache/batch_lanes", int64(hi-lo))
+				sh.Add("cache/batch_lane_events", d.LaneEvents-before.LaneEvents)
+				copy(ests[lo:hi], chunk)
+			}
+		} else {
+			for i, layout := range layouts {
+				start := time.Now()
+				ests[i] = ev.MissRate(sim, layout)
+				sh.AddDuration("cachesim/sim_wall", time.Since(start))
+			}
+		}
+		for i := range layouts {
 			if multi {
 				fmt.Printf("\n== %s ==\n", names[i])
 			}
-			start := time.Now()
-			est := ev.MissRate(sim, layout)
-			sh.AddDuration("cachesim/sim_wall", time.Since(start))
+			est := ests[i]
 			lo, hi := est.Interval()
 			fmt.Printf("refs sampled: %d (events replayed %d)\n", est.RefsReplayed, est.EventsReplayed)
 			fmt.Printf("miss rate:    %.4f%% ±%.4f%% [%.4f%%, %.4f%%]\n",
@@ -310,13 +352,45 @@ func run() error {
 		}
 		return nil
 	}
+	// Multi-layout runs score lane-batched: each chunk shares one walk of
+	// the compiled trace. The per-layout statistics are byte-identical to
+	// the serial engine's, so the printed figures do not depend on -batch.
+	stats := make([]cache.Stats, len(layouts))
+	if multi && lanes > 1 {
+		bs, err := cache.NewBatchSim(cfg)
+		if err != nil {
+			return err
+		}
+		for lo := 0; lo < len(layouts); lo += lanes {
+			hi := min(lo+lanes, len(layouts))
+			tables := make([]*cache.CompiledLayout, hi-lo)
+			for k, layout := range layouts[lo:hi] {
+				if tables[k], err = cache.CompileLayout(cfg, ct, layout); err != nil {
+					return err
+				}
+			}
+			start := time.Now()
+			res, err := bs.Run(ct, tables, cache.BatchOptions{})
+			if err != nil {
+				return err
+			}
+			sh.AddDuration("cachesim/sim_wall", time.Since(start))
+			addBatch(res.Batch)
+			copy(stats[lo:hi], res.Stats)
+		}
+	} else {
+		for i, layout := range layouts {
+			start := time.Now()
+			stats[i] = sim.RunCompiled(ct, layout)
+			sh.AddDuration("cachesim/sim_wall", time.Since(start))
+			addReplay(sim.Replay())
+		}
+	}
 	for i, layout := range layouts {
 		if multi {
 			fmt.Printf("\n== %s ==\n", names[i])
 		}
-		start := time.Now()
-		st := sim.RunCompiled(ct, layout)
-		sh.AddDuration("cachesim/sim_wall", time.Since(start))
+		st := stats[i]
 		fmt.Printf("refs:      %d\n", st.Refs)
 		fmt.Printf("misses:    %d (cold %d, conflict+capacity %d)\n", st.Misses, st.Cold, st.Conflict())
 		fmt.Printf("miss rate: %.4f%%\n", 100*st.MissRate())
@@ -324,7 +398,6 @@ func run() error {
 		sh.Add("cache/misses", st.Misses)
 		sh.Add("cache/cold_misses", st.Cold)
 		sh.Add("cache/conflict_misses", st.Conflict())
-		addReplay(sim.Replay())
 		if rep != nil {
 			rep.AddMissRate(bench, label(i), st.MissRate())
 		}

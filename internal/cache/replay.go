@@ -31,6 +31,24 @@ type CompiledTrace struct {
 	procs []program.ProcID
 	exts  []int32
 	reps  []int32
+	// classOf[i] names event i's activation class — its (proc, effective
+	// extent) pair, deduplicated in first-appearance order. Everything a
+	// replay derives from an event besides its repeat count (placed line
+	// span, conflict-freedom) is a function of the class alone, so a layout
+	// compiled against the classes (CompileLayout) answers those questions
+	// with two array loads per event. Slices share the class table, so
+	// tables compiled against the full trace serve every window of it.
+	classOf []int32
+	classes *classTable
+}
+
+// classTable is the deduplicated (proc, effective extent) universe of one
+// compilation. It is shared by pointer across every Slice of the
+// compilation, so pointer identity decides whether a CompiledLayout built
+// for one view is valid for another.
+type classTable struct {
+	proc []program.ProcID
+	ext  []int32
 }
 
 // CompileTrace precompiles tr for replay against layouts of prog. The
@@ -47,13 +65,32 @@ func CompileTrace(prog *program.Program, tr *trace.Trace) *CompiledTrace {
 		exts:  make([]int32, n),
 		reps:  make([]int32, n),
 	}
+	ct.classOf = make([]int32, n)
+	ct.classes = &classTable{}
+	// Class IDs are assigned in first-appearance order — a deterministic
+	// function of the trace, independent of map iteration.
+	seen := make(map[int64]int32, 64)
 	for i, e := range tr.Events {
 		ct.procs[i] = e.Proc
 		ct.exts[i] = int32(e.ExtentBytes(prog))
 		ct.reps[i] = int32(e.Repeats())
+		key := int64(ct.procs[i])<<32 | int64(ct.exts[i])
+		id, ok := seen[key]
+		if !ok {
+			id = int32(len(ct.classes.proc))
+			seen[key] = id
+			ct.classes.proc = append(ct.classes.proc, ct.procs[i])
+			ct.classes.ext = append(ct.classes.ext, ct.exts[i])
+		}
+		ct.classOf[i] = id
 	}
 	return ct
 }
+
+// NumClasses returns the number of distinct activation classes — (proc,
+// effective extent) pairs — in the compilation. Slices report the full
+// compilation's class count, since they share its table.
+func (ct *CompiledTrace) NumClasses() int { return len(ct.classes.proc) }
 
 // Program returns the program the trace was compiled against.
 func (ct *CompiledTrace) Program() *program.Program { return ct.prog }
@@ -72,11 +109,13 @@ func (ct *CompiledTrace) Slice(lo, hi int) *CompiledTrace {
 		panic(fmt.Sprintf("cache: compiled trace slice [%d:%d) out of range [0:%d)", lo, hi, ct.n))
 	}
 	return &CompiledTrace{
-		prog:  ct.prog,
-		n:     hi - lo,
-		procs: ct.procs[lo:hi],
-		exts:  ct.exts[lo:hi],
-		reps:  ct.reps[lo:hi],
+		prog:    ct.prog,
+		n:       hi - lo,
+		procs:   ct.procs[lo:hi],
+		exts:    ct.exts[lo:hi],
+		reps:    ct.reps[lo:hi],
+		classOf: ct.classOf[lo:hi],
+		classes: ct.classes,
 	}
 }
 

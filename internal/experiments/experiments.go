@@ -75,6 +75,27 @@ type Options struct {
 	// defaults (12 windows, trace/256-event intervals).
 	SampleWindows  int
 	SampleInterval int
+	// BatchLanes is the lane width of the batched replay engine used by
+	// the multi-layout drivers (figure5, sweep, padding, setassoc): up to
+	// that many candidate layouts score per walk of the shared compiled
+	// trace. 0 means DefaultBatchLanes; 1 selects the serial per-layout
+	// engine (the reference path CI compares the batched output against).
+	// Every reported miss rate is byte-identical at any setting — only
+	// the cache/batch_* versus cache/replay_* telemetry keys differ.
+	BatchLanes int
+}
+
+// DefaultBatchLanes is the default lane width of the batched drivers:
+// wide enough to amortize the trace stream, narrow enough that the lane
+// states of the paper geometry stay cache resident.
+const DefaultBatchLanes = 16
+
+// batchLanes resolves the lane width; values below 1 mean the default.
+func (o *Options) batchLanes() int {
+	if o.BatchLanes > 0 {
+		return o.BatchLanes
+	}
+	return DefaultBatchLanes
 }
 
 func (o *Options) setDefaults() {
@@ -255,6 +276,29 @@ func addReplay(sh *telemetry.Shard, rs cache.ReplayStats) {
 	sh.Add("cache/replay_fallback_events", rs.FallbackEvents)
 	sh.Add("cache/replay_collapsed_repeats", rs.CollapsedRepeats)
 	sh.Add("cache/replay_collapsed_refs", rs.CollapsedRefs)
+}
+
+// addBatch records the batched replay engine's work counters for one or
+// more runs into sh (nil-safe). Lane chunking is a deterministic function
+// of the driver's grid (never of worker scheduling), so the counters
+// merge identically at any parallelism.
+func addBatch(sh *telemetry.Shard, d cache.BatchStats) {
+	sh.Add("cache/batch_lanes", d.Lanes)
+	sh.Add("cache/batch_abandoned_lanes", d.AbandonedLanes)
+	sh.Add("cache/batch_lane_events", d.LaneEvents)
+	sh.Add("cache/batch_lane_events_saved", d.LaneEventsSaved)
+}
+
+// batchDelta subtracts two cumulative BatchStats snapshots taken around a
+// batched call that does not itself return a delta (sample.MissRateBatch).
+func batchDelta(after, before cache.BatchStats) cache.BatchStats {
+	return cache.BatchStats{
+		Runs:            after.Runs - before.Runs,
+		Lanes:           after.Lanes - before.Lanes,
+		AbandonedLanes:  after.AbandonedLanes - before.AbandonedLanes,
+		LaneEvents:      after.LaneEvents - before.LaneEvents,
+		LaneEventsSaved: after.LaneEventsSaved - before.LaneEventsSaved,
+	}
 }
 
 func pct(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/perturb"
 	"repro/internal/program"
 	"repro/internal/telemetry"
+	"repro/internal/tracegen"
 	"repro/internal/trg"
 )
 
@@ -91,35 +92,44 @@ func Figure5(opts Options) (*Figure5Result, error) {
 		}
 	}
 
-	err = runParallel(par, len(pairs)*perBench,
-		func() *figure5State {
-			return &figure5State{sim: cache.MustNewSim(opts.Cache), sh: opts.Telemetry.Shard()}
-		},
-		func(st *figure5State, i int) error {
-			bi, rest := i/perBench, i%perBench
-			ai, run := rest/perAlg, rest%perAlg-1
-			alg := figure5Algs[ai]
-			var rng *rand.Rand
-			if run >= 0 {
-				rng = rand.New(rand.NewSource(opts.Seed + int64(run)*7919))
-			}
-			stop := st.sh.Time("figure5/cell_wall")
-			mr, ci, err := runAlgorithm(alg, benches[bi], opts.Cache, rng, st.sim, st.sh, opts.Check)
-			stop()
-			if err != nil {
-				if run < 0 {
-					return fmt.Errorf("%s/%s unperturbed: %w", pairs[bi].Bench.Name, alg, err)
+	// record routes one cell's score into its index-addressed slot.
+	record := func(bi, ai, run int, mr, ci float64) {
+		if run < 0 {
+			unperturbed[bi][ai] = mr
+			ciHalf[bi][ai] = ci
+		} else {
+			rates[bi][ai][run] = mr
+		}
+	}
+
+	if lanes := opts.batchLanes(); lanes > 1 {
+		err = figure5Batched(opts, par, lanes, pairs, benches, perBench, perAlg, record)
+	} else {
+		err = runParallel(par, len(pairs)*perBench,
+			func() *figure5State {
+				return &figure5State{sim: cache.MustNewSim(opts.Cache), sh: opts.Telemetry.Shard()}
+			},
+			func(st *figure5State, i int) error {
+				bi, rest := i/perBench, i%perBench
+				ai, run := rest/perAlg, rest%perAlg-1
+				alg := figure5Algs[ai]
+				var rng *rand.Rand
+				if run >= 0 {
+					rng = rand.New(rand.NewSource(opts.Seed + int64(run)*7919))
 				}
-				return fmt.Errorf("%s/%s run %d: %w", pairs[bi].Bench.Name, alg, run, err)
-			}
-			if run < 0 {
-				unperturbed[bi][ai] = mr
-				ciHalf[bi][ai] = ci
-			} else {
-				rates[bi][ai][run] = mr
-			}
-			return nil
-		})
+				stop := st.sh.Time("figure5/cell_wall")
+				mr, ci, err := runAlgorithm(alg, benches[bi], opts.Cache, rng, st.sim, st.sh, opts.Check)
+				stop()
+				if err != nil {
+					if run < 0 {
+						return fmt.Errorf("%s/%s unperturbed: %w", pairs[bi].Bench.Name, alg, err)
+					}
+					return fmt.Errorf("%s/%s run %d: %w", pairs[bi].Bench.Name, alg, run, err)
+				}
+				record(bi, ai, run, mr, ci)
+				return nil
+			})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -152,6 +162,110 @@ func Figure5(opts Options) (*Figure5Result, error) {
 type figure5State struct {
 	sim *cache.Sim
 	sh  *telemetry.Shard
+}
+
+// figure5Batched is the batched scoring path: the same cell grid split
+// into two phases. Phase one builds every placement (the perturbation,
+// invariant-check and gbsc/* telemetry of the serial path, unchanged);
+// phase two scores each (benchmark, algorithm) panel's Runs+1 layouts in
+// lane-sized chunks through one walk of the testing trace per chunk —
+// exact replay or the sampled window plan. Chunk boundaries are a
+// function of the grid alone, so every score and counter is
+// byte-identical at any parallelism, and identical to the serial path's
+// (which CI pins with a batched-vs-serial output comparison).
+func figure5Batched(opts Options, par, lanes int, pairs []*tracegen.Pair, benches []*bench,
+	perBench, perAlg int, record func(bi, ai, run int, mr, ci float64)) error {
+	layouts := make([][][]*program.Layout, len(pairs)) // [bi][ai][run+1]
+	for bi := range pairs {
+		layouts[bi] = make([][]*program.Layout, len(figure5Algs))
+		for ai := range figure5Algs {
+			layouts[bi][ai] = make([]*program.Layout, perAlg)
+		}
+	}
+	err := runParallel(par, len(pairs)*perBench,
+		func() *telemetry.Shard { return opts.Telemetry.Shard() },
+		func(sh *telemetry.Shard, i int) error {
+			bi, rest := i/perBench, i%perBench
+			ai, run := rest/perAlg, rest%perAlg-1
+			alg := figure5Algs[ai]
+			var rng *rand.Rand
+			if run >= 0 {
+				rng = rand.New(rand.NewSource(opts.Seed + int64(run)*7919))
+			}
+			stop := sh.Time("figure5/cell_wall")
+			layout, err := buildLayout(alg, benches[bi], opts.Cache, rng, sh, opts.Check)
+			stop()
+			if err != nil {
+				if run < 0 {
+					return fmt.Errorf("%s/%s unperturbed: %w", pairs[bi].Bench.Name, alg, err)
+				}
+				return fmt.Errorf("%s/%s run %d: %w", pairs[bi].Bench.Name, alg, run, err)
+			}
+			layouts[bi][ai][run+1] = layout
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+
+	return runParallel(par, len(pairs)*len(figure5Algs),
+		func() *figure5BatchState {
+			return &figure5BatchState{bs: cache.MustNewBatchSim(opts.Cache), sh: opts.Telemetry.Shard()}
+		},
+		func(st *figure5BatchState, j int) error {
+			bi, ai := j/len(figure5Algs), j%len(figure5Algs)
+			b := benches[bi]
+			panel := layouts[bi][ai]
+			stop := st.sh.Time("figure5/score_wall")
+			defer stop()
+			for lo := 0; lo < len(panel); lo += lanes {
+				hi := min(lo+lanes, len(panel))
+				chunk := panel[lo:hi]
+				if b.evalTest != nil {
+					before := st.bs.Batch()
+					ests, err := b.evalTest.MissRateBatch(st.bs, chunk)
+					if err != nil {
+						return fmt.Errorf("%s/%s: %w", pairs[bi].Bench.Name, figure5Algs[ai], err)
+					}
+					d := batchDelta(st.bs.Batch(), before)
+					d.Lanes = int64(len(chunk))
+					addBatch(st.sh, d)
+					for k, est := range ests {
+						st.sh.Add("sample/events_replayed", est.EventsReplayed)
+						st.sh.Add("sample/refs_replayed", est.RefsReplayed)
+						record(bi, ai, lo+k-1, est.MissRate, est.CIHalf)
+					}
+					continue
+				}
+				tables := make([]*cache.CompiledLayout, len(chunk))
+				for k, layout := range chunk {
+					var err error
+					if tables[k], err = cache.CompileLayout(opts.Cache, b.ctTest, layout); err != nil {
+						return fmt.Errorf("%s/%s: %w", pairs[bi].Bench.Name, figure5Algs[ai], err)
+					}
+				}
+				res, err := st.bs.Run(b.ctTest, tables, cache.BatchOptions{})
+				if err != nil {
+					return fmt.Errorf("%s/%s: %w", pairs[bi].Bench.Name, figure5Algs[ai], err)
+				}
+				addBatch(st.sh, res.Batch)
+				for k, lst := range res.Stats {
+					st.sh.Add("cache/refs", lst.Refs)
+					st.sh.Add("cache/misses", lst.Misses)
+					st.sh.Add("cache/cold_misses", lst.Cold)
+					st.sh.Add("cache/conflict_misses", lst.Conflict())
+					record(bi, ai, lo+k-1, lst.MissRate(), 0)
+				}
+			}
+			return nil
+		})
+}
+
+// figure5BatchState is one scoring worker's scratch: a reusable batched
+// simulator plus a telemetry shard.
+type figure5BatchState struct {
+	bs *cache.BatchSim
+	sh *telemetry.Shard
 }
 
 // buildLayout computes a placement with optionally perturbed profile data

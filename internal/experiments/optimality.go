@@ -88,6 +88,8 @@ func Optimality(opts Options) (*OptimalityResult, error) {
 		}
 		sh.Add("static/pruned", opt.Pruned)
 		sh.Add("static/evaluated", opt.Evaluated)
+		sh.Add("static/abandoned", opt.Abandoned)
+		addBatch(sh, opt.Batch)
 		// Both layouts come from place.Linearize with every procedure
 		// popular, so full alignment applies.
 		if err := checkAligned(opts.Check, fmt.Sprintf("optimality/seed%d/optimal", seed), prog, opt.Layout, nil, tiny); err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/program"
 	"repro/internal/tracegen"
 )
 
@@ -34,7 +35,8 @@ func Padding(opts Options) (*PaddingResult, error) {
 	if pair == nil {
 		return nil, fmt.Errorf("experiments: benchmark missing from suite")
 	}
-	b, err := prepare(pair, opts.Cache, opts.Telemetry.Shard(), opts.Check, opts.Shards, nil)
+	sh := opts.Telemetry.Shard()
+	b, err := prepare(pair, opts.Cache, sh, opts.Check, opts.Shards, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -45,19 +47,30 @@ func Padding(opts Options) (*PaddingResult, error) {
 	if err := checkAligned(opts.Check, pair.Bench.Name+"/padding-base", pair.Bench.Prog, layout, b.pop, opts.Cache); err != nil {
 		return nil, err
 	}
-	base, err := cache.MissRateCompiled(opts.Cache, b.ctTest, layout)
-	if err != nil {
-		return nil, err
-	}
 	padded := layout.PadAll(opts.Cache.LineBytes)
 	// The padded variant deliberately inserts gaps; only the universal
 	// invariants apply.
 	if err := checkGeneral(opts.Check, pair.Bench.Name+"/padding-padded", pair.Bench.Prog, padded, b.pop, opts.Cache); err != nil {
 		return nil, err
 	}
-	pad, err := cache.MissRateCompiled(opts.Cache, b.ctTest, padded)
-	if err != nil {
-		return nil, err
+	// Both variants score in one walk of the testing trace; BatchLanes 1
+	// keeps the serial per-layout engine.
+	var base, pad float64
+	if opts.batchLanes() > 1 {
+		res, err := cache.RunCompiledBatch(opts.Cache, b.ctTest,
+			[]*program.Layout{layout, padded}, cache.BatchOptions{})
+		if err != nil {
+			return nil, err
+		}
+		addBatch(sh, res.Batch)
+		base, pad = res.Stats[0].MissRate(), res.Stats[1].MissRate()
+	} else {
+		if base, err = cache.MissRateCompiled(opts.Cache, b.ctTest, layout); err != nil {
+			return nil, err
+		}
+		if pad, err = cache.MissRateCompiled(opts.Cache, b.ctTest, padded); err != nil {
+			return nil, err
+		}
 	}
 	return &PaddingResult{
 		Benchmark:    pair.Bench.Name,

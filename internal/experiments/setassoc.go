@@ -8,6 +8,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/invariant"
+	"repro/internal/program"
 	"repro/internal/trg"
 )
 
@@ -44,7 +45,8 @@ func SetAssoc(opts Options) (*SetAssocResult, error) {
 	rows := make([]SetAssocRow, len(pairs))
 	err = forEach(opts.parallelism(), len(pairs), func(i int) error {
 		pair := pairs[i]
-		b, err := prepare(pair, opts.Cache, opts.Telemetry.Shard(), opts.Check, opts.Shards, nil)
+		sh := opts.Telemetry.Shard()
+		b, err := prepare(pair, opts.Cache, sh, opts.Check, opts.Shards, nil)
 		if err != nil {
 			return err
 		}
@@ -63,20 +65,12 @@ func SetAssoc(opts Options) (*SetAssocResult, error) {
 		if err := checkPacked(opts.Check, pair.Bench.Name+"/setassoc-default", prog, defLayout); err != nil {
 			return err
 		}
-		defMR, err := cache.MissRateCompiled(assocCfg, b.ctTest, defLayout)
-		if err != nil {
-			return err
-		}
 
 		dmLayout, err := core.Place(prog, b.trgRes, b.pop, opts.Cache)
 		if err != nil {
 			return err
 		}
 		if err := checkAligned(opts.Check, pair.Bench.Name+"/setassoc-direct", prog, dmLayout, b.pop, opts.Cache); err != nil {
-			return err
-		}
-		dmMR, err := cache.MissRateCompiled(assocCfg, b.ctTest, dmLayout)
-		if err != nil {
 			return err
 		}
 
@@ -92,10 +86,29 @@ func SetAssoc(opts Options) (*SetAssocResult, error) {
 		}); err != nil {
 			return err
 		}
-		asMR, err := cache.MissRateCompiled(assocCfg, b.ctTest, asLayout)
-		if err != nil {
-			return err
+
+		// All three candidates score in one walk of the testing trace on
+		// the 2-way geometry (the batched LRU lanes); BatchLanes 1 keeps
+		// the serial per-layout engine.
+		layouts := []*program.Layout{defLayout, dmLayout, asLayout}
+		mrs := make([]float64, len(layouts))
+		if opts.batchLanes() > 1 {
+			res, err := cache.RunCompiledBatch(assocCfg, b.ctTest, layouts, cache.BatchOptions{})
+			if err != nil {
+				return err
+			}
+			addBatch(sh, res.Batch)
+			for k, st := range res.Stats {
+				mrs[k] = st.MissRate()
+			}
+		} else {
+			for k, layout := range layouts {
+				if mrs[k], err = cache.MissRateCompiled(assocCfg, b.ctTest, layout); err != nil {
+					return err
+				}
+			}
 		}
+		defMR, dmMR, asMR := mrs[0], mrs[1], mrs[2]
 
 		rows[i] = SetAssocRow{
 			Name:          pair.Bench.Name,

@@ -47,8 +47,9 @@ func CacheSweep(opts Options) (*SweepResult, error) {
 	// is fully independent and shards flat across workers.
 	cells := make([]SweepCell, len(pairs)*len(geometries))
 	err = forEach(opts.parallelism(), len(cells), func(i int) error {
+		sh := opts.Telemetry.Shard()
 		pair, cfg := pairs[i/len(geometries)], geometries[i%len(geometries)]
-		b, err := prepare(pair, cfg, opts.Telemetry.Shard(), opts.Check, opts.Shards, nil)
+		b, err := prepare(pair, cfg, sh, opts.Check, opts.Shards, nil)
 		if err != nil {
 			return err
 		}
@@ -59,17 +60,11 @@ func CacheSweep(opts Options) (*SweepResult, error) {
 		if err := checkPacked(opts.Check, cell.Name+"/sweep-default", prog, def); err != nil {
 			return err
 		}
-		if cell.Default, err = cache.MissRateCompiled(cfg, b.ctTest, def); err != nil {
-			return err
-		}
 		phl, err := baseline.PHLayout(prog, b.wcgFull)
 		if err != nil {
 			return err
 		}
 		if err := checkPacked(opts.Check, cell.Name+"/sweep-ph", prog, phl); err != nil {
-			return err
-		}
-		if cell.PH, err = cache.MissRateCompiled(cfg, b.ctTest, phl); err != nil {
 			return err
 		}
 		// GBSC trained against the direct-mapped view of the geometry
@@ -91,9 +86,28 @@ func CacheSweep(opts Options) (*SweepResult, error) {
 		if err := checkAligned(opts.Check, cell.Name+"/sweep-gbsc", prog, gl, b.pop, dm); err != nil {
 			return err
 		}
-		if cell.GBSC, err = cache.MissRateCompiled(cfg, b.ctTest, gl); err != nil {
-			return err
+		// The cell's three candidates score in one walk of the testing
+		// trace (the 2-way geometries exercise the batched LRU lanes);
+		// BatchLanes 1 keeps the serial per-layout engine.
+		layouts := []*program.Layout{def, phl, gl}
+		rates := make([]float64, len(layouts))
+		if opts.batchLanes() > 1 {
+			res, err := cache.RunCompiledBatch(cfg, b.ctTest, layouts, cache.BatchOptions{})
+			if err != nil {
+				return err
+			}
+			addBatch(sh, res.Batch)
+			for k, st := range res.Stats {
+				rates[k] = st.MissRate()
+			}
+		} else {
+			for k, layout := range layouts {
+				if rates[k], err = cache.MissRateCompiled(cfg, b.ctTest, layout); err != nil {
+					return err
+				}
+			}
 		}
+		cell.Default, cell.PH, cell.GBSC = rates[0], rates[1], rates[2]
 		cells[i] = cell
 		return nil
 	})

@@ -7,6 +7,7 @@ package optimal
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/cache"
 	"repro/internal/place"
@@ -19,6 +20,12 @@ import (
 // MaxProcs bounds the exhaustive search: the space is lines^(procs-1)
 // simulations, each a full trace replay.
 const MaxProcs = 6
+
+// batchWidth is how many surviving candidates Search scores per batched
+// trace walk. Sixteen lanes keep the per-lane simulated state (tag
+// arrays + first-touch stamps for a toy geometry) comfortably cache
+// resident while amortizing the compiled-trace stream sixteen ways.
+const batchWidth = 16
 
 // Result is the outcome of the search.
 type Result struct {
@@ -33,22 +40,19 @@ type Result struct {
 	// candidate space.
 	Evaluated int64
 	Pruned    int64
+	// Abandoned counts evaluated candidates whose replay retired mid-walk
+	// because the running miss count already exceeded the incumbent's —
+	// a subset of Evaluated. Zero for SearchReference.
+	Abandoned int64
+	// Batch is the batched engine's work accounting (zero for
+	// SearchReference): how many lane-events were walked versus saved by
+	// early abandonment.
+	Batch cache.BatchStats
 }
 
-// Search exhaustively tries every combination of cache-line offsets for
-// the program's procedures (the first procedure is pinned to line 0 —
-// rotations of a placement are equivalent) and returns a layout minimizing
-// the simulated miss count of tr. Programs must have at most MaxProcs
-// procedures and a modest line count; the cost is at most lines^(n-1)
-// trace simulations.
-//
-// Candidates are pre-screened with the static analysis: a layout whose
-// sound lower miss bound (staticcache) already exceeds the best simulated
-// miss count so far cannot win — its true misses are at least the bound —
-// so its replay is skipped. Ties are impossible among pruned candidates
-// (the bound must strictly exceed the incumbent), so the returned layout
-// is byte-identical to the unscreened search's first-minimal winner.
-func Search(prog *program.Program, tr *trace.Trace, cfg cache.Config) (*Result, error) {
+// validate rejects programs and geometries outside the exhaustive
+// search's scope and builds the shared static model.
+func validate(prog *program.Program, tr *trace.Trace, cfg cache.Config) (*staticcache.Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -65,19 +69,20 @@ func Search(prog *program.Program, tr *trace.Trace, cfg cache.Config) (*Result, 
 	if err := tr.Validate(prog); err != nil {
 		return nil, err
 	}
-
 	// One static model serves every candidate: the activation classes and
 	// adjacency edges depend only on (program, trace, geometry), while the
 	// per-layout Analyze pass is far cheaper than a replay.
-	model, err := staticcache.NewModel(prog, tr, cfg)
-	if err != nil {
-		return nil, err
-	}
+	return staticcache.NewModel(prog, tr, cfg)
+}
 
+// candidates drives the odometer over offsets[1..n-1] (the first
+// procedure is pinned to line 0 — rotations of a placement are
+// equivalent), yielding each linearized candidate in search order until
+// yield returns false or the space is exhausted.
+func candidates(prog *program.Program, cfg cache.Config, yield func(*program.Layout) (bool, error)) error {
+	n := prog.NumProcs()
 	lines := cfg.NumLines()
 	offsets := make([]int, n) // offsets[0] stays 0
-	res := &Result{Misses: int64(^uint64(0) >> 1)}
-
 	items := make([]place.Placed, n)
 	pop := popular.All(prog)
 	for {
@@ -86,23 +91,11 @@ func Search(prog *program.Program, tr *trace.Trace, cfg cache.Config) (*Result, 
 		}
 		layout, err := place.Linearize(prog, items, pop.Unpopular(prog), cfg, lines)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if res.Layout != nil && model.Analyze(layout).LowerMisses > res.Misses {
-			res.Pruned++
-		} else {
-			st, err := cache.RunTrace(cfg, layout, tr)
-			if err != nil {
-				return nil, err
-			}
-			res.Evaluated++
-			if st.Misses < res.Misses {
-				res.Misses = st.Misses
-				res.Layout = layout
-			}
+		if more, err := yield(layout); err != nil || !more {
+			return err
 		}
-
-		// Advance the odometer over offsets[1..n-1].
 		i := 1
 		for ; i < n; i++ {
 			offsets[i]++
@@ -112,7 +105,139 @@ func Search(prog *program.Program, tr *trace.Trace, cfg cache.Config) (*Result, 
 			offsets[i] = 0
 		}
 		if i == n {
-			return res, nil
+			return nil
 		}
 	}
+}
+
+// Search exhaustively tries every combination of cache-line offsets for
+// the program's procedures and returns a layout minimizing the simulated
+// miss count of tr. Programs must have at most MaxProcs procedures and a
+// modest line count; the space is at most lines^(n-1) candidates.
+//
+// Three amortizations stack, and each preserves the first-minimal winner
+// of the plain serial search (SearchReference) byte-for-byte:
+//
+//   - Candidates are pre-screened with the static analysis: a layout whose
+//     sound lower miss bound (staticcache) already exceeds the best
+//     simulated miss count so far cannot win — its true misses are at
+//     least the bound — so its replay is skipped. Within a batch the
+//     incumbent used for screening may be stale (it only advances at
+//     flush), which is still sound: the incumbent's miss count only
+//     decreases, so a bound exceeding a stale incumbent exceeds the final
+//     one too. Only the Pruned/Evaluated split can shift vs the serial
+//     screen, never the winner.
+//   - Survivors are scored batchWidth at a time by one shared walk of the
+//     compiled trace (cache.BatchSim) instead of a private replay each.
+//   - Once an incumbent exists, every lane gets budget incumbent−1: a
+//     lane whose running miss count exceeds it retires mid-walk. Its
+//     final count would have been ≥ the incumbent's at flush time — and
+//     the incumbent only improves within a flush — so a strictly better
+//     candidate is never lost; lanes are settled in odometer order, so
+//     the first-minimal tie-break is preserved as well.
+func Search(prog *program.Program, tr *trace.Trace, cfg cache.Config) (*Result, error) {
+	model, err := validate(prog, tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ct := cache.CompileTrace(prog, tr)
+	bs, err := cache.NewBatchSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Misses: math.MaxInt64}
+
+	pending := make([]*cache.CompiledLayout, 0, batchWidth)
+	budgets := make([]int64, 0, batchWidth)
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		opts := cache.BatchOptions{}
+		if res.Layout != nil {
+			budgets = budgets[:0]
+			for range pending {
+				budgets = append(budgets, res.Misses-1)
+			}
+			opts.Budgets = budgets
+		}
+		run, err := bs.Run(ct, pending, opts)
+		if err != nil {
+			return err
+		}
+		res.Batch.Add(run.Batch)
+		for i, cl := range pending {
+			res.Evaluated++
+			if run.Abandoned[i] {
+				res.Abandoned++
+				continue
+			}
+			if st := run.Stats[i]; st.Misses < res.Misses {
+				res.Misses = st.Misses
+				res.Layout = cl.Layout()
+			}
+		}
+		pending = pending[:0]
+		return nil
+	}
+
+	err = candidates(prog, cfg, func(layout *program.Layout) (bool, error) {
+		if res.Layout != nil && model.Analyze(layout).LowerMisses > res.Misses {
+			res.Pruned++
+			return true, nil
+		}
+		cl, err := cache.CompileLayout(cfg, ct, layout)
+		if err != nil {
+			return false, err
+		}
+		pending = append(pending, cl)
+		if len(pending) == batchWidth {
+			return true, flush()
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SearchReference is the frozen serial baseline search: the same static
+// prescreen, but every surviving candidate replayed one at a time with
+// cache.RunTrace — a fresh simulator and a fresh trace memoization per
+// candidate, exactly the shape Search had before batching. Search must
+// return a byte-identical winner; the reference exists for that
+// differential and as the baseline the batched speedup is measured
+// against, so it deliberately keeps the per-candidate costs the batch
+// engine amortizes away (one compilation, one state buffer, one shared
+// walk).
+func SearchReference(prog *program.Program, tr *trace.Trace, cfg cache.Config) (*Result, error) {
+	model, err := validate(prog, tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Misses: math.MaxInt64}
+	err = candidates(prog, cfg, func(layout *program.Layout) (bool, error) {
+		if res.Layout != nil && model.Analyze(layout).LowerMisses > res.Misses {
+			res.Pruned++
+			return true, nil
+		}
+		st, err := cache.RunTrace(cfg, layout, tr)
+		if err != nil {
+			return false, err
+		}
+		res.Evaluated++
+		if st.Misses < res.Misses {
+			res.Misses = st.Misses
+			res.Layout = layout
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }

@@ -142,6 +142,71 @@ func TestScreeningPreservesWinnerAndPrunes(t *testing.T) {
 	}
 }
 
+// TestBatchedSearchMatchesReference is the batching/abandonment gate:
+// across the same random tiny workloads, the batched Search (stale-
+// incumbent prescreen + 16-lane batches + incumbent-seeded budgets) must
+// return exactly the serial SearchReference's first-minimal winner, and
+// account for the full candidate space. Abandonment must actually fire
+// somewhere on aggregate, and every abandoned lane is an evaluated one.
+func TestBatchedSearchMatchesReference(t *testing.T) {
+	var abandoned, saved int64
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(3) + 3
+		procs := make([]program.Procedure, n)
+		for i := range procs {
+			procs[i] = program.Procedure{
+				Name: string(rune('a' + i)),
+				Size: 32 * (rng.Intn(2) + 1),
+			}
+		}
+		prog := program.MustNew(procs)
+		tr := &trace.Trace{}
+		for i := 0; i < 400; i++ {
+			p := i % n
+			if seed%2 == 1 {
+				p = rng.Intn(n)
+			}
+			tr.Append(trace.Event{Proc: program.ProcID(p)})
+		}
+		got, err := Search(prog, tr, tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := SearchReference(prog, tr, tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Misses != want.Misses {
+			t.Errorf("seed %d: batched misses %d, reference %d", seed, got.Misses, want.Misses)
+		}
+		for p := 0; p < n; p++ {
+			if got.Layout.Addr(program.ProcID(p)) != want.Layout.Addr(program.ProcID(p)) {
+				t.Errorf("seed %d: winner layouts diverge at proc %d", seed, p)
+			}
+		}
+		if got.Evaluated+got.Pruned != want.Evaluated+want.Pruned {
+			t.Errorf("seed %d: candidate space %d+%d != %d+%d",
+				seed, got.Evaluated, got.Pruned, want.Evaluated, want.Pruned)
+		}
+		if got.Abandoned > got.Evaluated {
+			t.Errorf("seed %d: %d abandoned of %d evaluated", seed, got.Abandoned, got.Evaluated)
+		}
+		if want.Abandoned != 0 || want.Batch.Lanes != 0 {
+			t.Errorf("seed %d: reference reports batch work %+v", seed, want)
+		}
+		abandoned += got.Abandoned
+		saved += got.Batch.LaneEventsSaved
+	}
+	if abandoned == 0 {
+		t.Error("abandonment never fired across 10 seeds")
+	}
+	if saved == 0 {
+		t.Error("abandonment saved no lane-events across 10 seeds")
+	}
+	t.Logf("abandoned %d lanes, saved %d lane-events across 10 seeds", abandoned, saved)
+}
+
 func TestSearchRejectsBigPrograms(t *testing.T) {
 	procs := make([]program.Procedure, MaxProcs+1)
 	for i := range procs {

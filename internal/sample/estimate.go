@@ -66,6 +66,7 @@ type compiledWindow struct {
 // the caller's simulator, so workers bring their own.
 type Evaluator struct {
 	plan *Plan
+	ct   *cache.CompiledTrace
 	wins []compiledWindow
 }
 
@@ -77,7 +78,7 @@ func NewEvaluator(ct *cache.CompiledTrace, plan *Plan) *Evaluator {
 		panic(fmt.Sprintf("sample: compiled trace has %d events, plan was built from %d",
 			ct.Len(), plan.TotalEvents))
 	}
-	e := &Evaluator{plan: plan, wins: make([]compiledWindow, len(plan.Windows))}
+	e := &Evaluator{plan: plan, ct: ct, wins: make([]compiledWindow, len(plan.Windows))}
 	for i, w := range plan.Windows {
 		e.wins[i] = compiledWindow{
 			warm:   ct.Slice(w.WarmStart, w.Start),
@@ -113,6 +114,75 @@ func (e *Evaluator) Plan() *Plan { return e.plan }
 // widens the confidence interval — an interval over the unknown-state
 // ambiguity, not a guess.
 func (e *Evaluator) MissRate(sim *cache.Sim, layout *program.Layout) Estimate {
+	if len(e.wins) == 0 {
+		return e.estimate(layout, nil)
+	}
+	sts := make([]cache.Stats, len(e.wins))
+	for i, w := range e.wins {
+		sim.Reset()
+		if w.warm.Len() > 0 {
+			sim.ReplayCompiled(w.warm, layout)
+		}
+		sts[i] = sim.ReplayCompiled(w.body, layout)
+	}
+	return e.estimate(layout, sts)
+}
+
+// MissRateBatch scores several layouts against the plan in one pass: the
+// windows replay through the batched engine, each walked once for all
+// lanes instead of once per layout. Estimates are bit-identical to
+// MissRate of each layout — the per-lane window deltas equal the serial
+// engine's, and the estimator arithmetic runs per lane in the same order.
+// Tables are compiled against the evaluator's own compilation, so the
+// caller only supplies layouts and a simulator of the target geometry.
+func (e *Evaluator) MissRateBatch(bs *cache.BatchSim, layouts []*program.Layout) ([]Estimate, error) {
+	ests := make([]Estimate, len(layouts))
+	if len(e.wins) == 0 || len(layouts) == 0 {
+		for i, l := range layouts {
+			ests[i] = e.estimate(l, nil)
+		}
+		return ests, nil
+	}
+	tables := make([]*cache.CompiledLayout, len(layouts))
+	for i, l := range layouts {
+		var err error
+		if tables[i], err = cache.CompileLayout(bs.Config(), e.ct, l); err != nil {
+			return nil, err
+		}
+	}
+	if err := bs.Bind(tables); err != nil {
+		return nil, err
+	}
+	sts := make([][]cache.Stats, len(layouts))
+	for li := range sts {
+		sts[li] = make([]cache.Stats, len(e.wins))
+	}
+	for wi, w := range e.wins {
+		bs.Reset()
+		if w.warm.Len() > 0 {
+			if _, err := bs.Replay(w.warm); err != nil { // warm-up: discarded
+				return nil, err
+			}
+		}
+		deltas, err := bs.Replay(w.body)
+		if err != nil {
+			return nil, err
+		}
+		for li := range sts {
+			sts[li][wi] = deltas[li]
+		}
+	}
+	for li, l := range layouts {
+		ests[li] = e.estimate(l, sts[li])
+	}
+	return ests, nil
+}
+
+// estimate turns one layout's per-window measurement deltas (sts[i] is
+// window i's body replay delta) into the weighted estimate. This is the
+// arithmetic shared verbatim by the serial and batched paths; the float
+// operation order is part of the bit-identity contract between them.
+func (e *Evaluator) estimate(layout *program.Layout, sts []cache.Stats) Estimate {
 	est := Estimate{Windows: len(e.wins)}
 	if len(e.wins) == 0 {
 		est.Exact = true // an empty trace is measured exactly: zero refs
@@ -122,11 +192,7 @@ func (e *Evaluator) MissRate(sim *cache.Sim, layout *program.Layout) Estimate {
 	var last cache.Stats
 	var ambiguity float64
 	for i, w := range e.wins {
-		sim.Reset()
-		if w.warm.Len() > 0 {
-			sim.ReplayCompiled(w.warm, layout)
-		}
-		st := sim.ReplayCompiled(w.body, layout)
+		st := sts[i]
 		if st.Refs > 0 {
 			unknown := float64(st.Cold - w.fresh)
 			if unknown < 0 {

@@ -263,3 +263,92 @@ func TestEstimateIntervalClamps(t *testing.T) {
 		t.Errorf("interval [%v,%v], want [0.94,1]", lo, hi)
 	}
 }
+
+// batchTestLayouts builds several genuinely different layouts of prog:
+// the default plus shuffled permutations with random gaps.
+func batchTestLayouts(prog *program.Program, n int) []*program.Layout {
+	rng := rand.New(rand.NewSource(23))
+	layouts := []*program.Layout{program.DefaultLayout(prog)}
+	for len(layouts) < n {
+		l := program.NewLayout(prog)
+		addr := 0
+		for _, p := range rng.Perm(prog.NumProcs()) {
+			addr += rng.Intn(64)
+			l.SetAddr(program.ProcID(p), addr)
+			addr += prog.Size(program.ProcID(p))
+		}
+		layouts = append(layouts, l)
+	}
+	return layouts
+}
+
+// TestMissRateBatchBitIdentical is the windowed batching contract: for a
+// clustered multi-window plan, MissRateBatch must reproduce MissRate of
+// every layout bit for bit — same replay deltas, same float arithmetic.
+func TestMissRateBatchBitIdentical(t *testing.T) {
+	prog := testProgram(t)
+	tr := PhasedTrace(rand.New(rand.NewSource(5)), prog, 20000)
+	p := mustPlan(t, prog, tr, Options{})
+	if !p.Clustered || len(p.Windows) < 2 {
+		t.Fatalf("want a clustered multi-window plan, got %d windows", len(p.Windows))
+	}
+	ev := NewEvaluator(cache.CompileTrace(prog, tr), p)
+	layouts := batchTestLayouts(prog, 5)
+
+	sim := cache.MustNewSim(testCache)
+	want := make([]Estimate, len(layouts))
+	for i, l := range layouts {
+		want[i] = ev.MissRate(sim, l)
+	}
+	got, err := ev.MissRateBatch(cache.MustNewBatchSim(testCache), layouts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range layouts {
+		if got[i] != want[i] {
+			t.Errorf("layout %d: batch estimate %+v != serial %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMissRateBatchDegenerate covers the exact and empty plan shapes
+// through the batched path.
+func TestMissRateBatchDegenerate(t *testing.T) {
+	prog := testProgram(t)
+
+	// Empty trace: estimates are exact zeros for every layout.
+	p := mustPlan(t, prog, &trace.Trace{}, Options{})
+	ev := NewEvaluator(cache.CompileTrace(prog, &trace.Trace{}), p)
+	ests, err := ev.MissRateBatch(cache.MustNewBatchSim(testCache), batchTestLayouts(prog, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range ests {
+		if !e.Exact || e.MissRate != 0 {
+			t.Errorf("layout %d on empty trace: %+v", i, e)
+		}
+	}
+
+	// Single window covering the whole trace: the batched estimate is the
+	// exact simulation, like the serial path.
+	tr := uniformTrace(prog, 500)
+	p = mustPlan(t, prog, tr, Options{Interval: 100000})
+	if len(p.Windows) != 1 || p.Windows[0].Start != 0 || p.Windows[0].End != p.TotalEvents {
+		t.Fatalf("plan did not produce one full-trace window: %+v", p.Windows)
+	}
+	ev = NewEvaluator(cache.CompileTrace(prog, tr), p)
+	layouts := batchTestLayouts(prog, 3)
+	ests, err = ev.MissRateBatch(cache.MustNewBatchSim(testCache), layouts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := cache.MustNewSim(testCache)
+	for i, l := range layouts {
+		if !ests[i].Exact {
+			t.Errorf("layout %d: full-window batch estimate not exact", i)
+		}
+		if exact := sim.RunTrace(l, tr).MissRate(); ests[i].MissRate != exact {
+			t.Errorf("layout %d: batch exact %.6f != simulation %.6f", i, ests[i].MissRate, exact)
+		}
+	}
+}

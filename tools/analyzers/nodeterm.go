@@ -19,6 +19,7 @@ var nodetermScope = []string{
 	"repro/internal/sample",
 	"repro/internal/staticcache",
 	"repro/internal/incr",
+	"repro/internal/optimal",
 	"repro/internal/telemetry",
 }
 

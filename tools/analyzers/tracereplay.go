@@ -13,6 +13,7 @@ import (
 // hoists out and silently skips the repeat-collapsing fast path.
 var traceReplayScope = []string{
 	"repro/internal/experiments",
+	"repro/internal/optimal",
 }
 
 // TraceReplay flags direct iteration over a Trace's Events in the
